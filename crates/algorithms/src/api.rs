@@ -1,0 +1,166 @@
+//! One-call entry points: build the machine, distribute the graph, run,
+//! return plain vectors. These are what the examples and most tests use;
+//! for fine-grained control (strategies, engine configs, statistics) use
+//! the per-algorithm modules inside your own [`dgp_am::Machine::run`].
+
+use dgp_am::{Machine, MachineConfig};
+use dgp_graph::properties::EdgeMap;
+use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
+
+use crate::sssp::SsspStrategy;
+
+/// Distributed SSSP over `ranks` simulated ranks. The edge list must be
+/// weighted. Returns the distance vector in vertex order.
+pub fn run_sssp(
+    el: &EdgeList,
+    ranks: usize,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> Vec<f64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let d = crate::sssp::sssp(ctx, &graph, &weights, source, strategy);
+        (ctx.rank() == 0).then(|| d.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// Distributed connected components (parallel search). The edge list is
+/// symmetrized internally. Returns min-vertex-id component labels.
+pub fn run_cc(el: &EdgeList, ranks: usize) -> Vec<u64> {
+    let mut sym = el.clone();
+    sym.weights = None;
+    sym.symmetrize();
+    let dist = Distribution::block(sym.num_vertices(), ranks);
+    let graph = DistGraph::build(&sym, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let c = crate::cc::cc(ctx, &graph);
+        (ctx.rank() == 0).then(|| c.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// Distributed BFS levels (`u64::MAX` = unreached).
+pub fn run_bfs(el: &EdgeList, ranks: usize, source: VertexId) -> Vec<u64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let l = crate::bfs::bfs(ctx, &graph, source);
+        (ctx.rank() == 0).then(|| l.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// Distributed PageRank (`damping` typically 0.85).
+pub fn run_pagerank(el: &EdgeList, ranks: usize, damping: f64, iterations: usize) -> Vec<f64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let r = crate::pagerank::pagerank(ctx, &graph, damping, iterations);
+        (ctx.rank() == 0).then(|| r.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// Distributed k-core membership mask (edge list symmetrized internally).
+pub fn run_kcore(el: &EdgeList, ranks: usize, k: u64) -> Vec<bool> {
+    let mut sym = el.clone();
+    sym.weights = None;
+    sym.symmetrize();
+    let dist = Distribution::block(sym.num_vertices(), ranks);
+    let graph = DistGraph::build(&sym, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let (mask, _) = crate::kcore::kcore(ctx, &graph, k);
+        (ctx.rank() == 0).then(|| mask.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// Distributed greedy coloring (edge list symmetrized internally).
+/// Returns per-vertex colors; max degree must be < 63.
+pub fn run_coloring(el: &EdgeList, ranks: usize) -> Vec<u64> {
+    let mut sym = el.clone();
+    sym.weights = None;
+    sym.symmetrize();
+    let dist = Distribution::block(sym.num_vertices(), ranks);
+    let graph = DistGraph::build(&sym, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let (c, _) = crate::coloring::color_greedy(ctx, &graph);
+        (ctx.rank() == 0).then(|| c.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use dgp_graph::generators;
+
+    fn assert_dists_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let ok = (x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite());
+            assert!(ok, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sssp_fixed_point_matches_dijkstra() {
+        let mut el = generators::rmat(7, 8, generators::RmatParams::GRAPH500, 21);
+        el.randomize_weights(0.5, 3.0, 4);
+        let expect = seq::dijkstra(&el, 0);
+        for ranks in [1, 3] {
+            let got = run_sssp(&el, ranks, 0, SsspStrategy::FixedPoint);
+            assert_dists_eq(&got, &expect);
+        }
+    }
+
+    #[test]
+    fn sssp_delta_matches_dijkstra() {
+        let mut el = generators::erdos_renyi(200, 1200, 8);
+        el.randomize_weights(0.5, 3.0, 9);
+        let expect = seq::dijkstra(&el, 5);
+        let got = run_sssp(&el, 4, 5, SsspStrategy::Delta(1.0));
+        assert_dists_eq(&got, &expect);
+    }
+
+    #[test]
+    fn sssp_delta_async_matches_dijkstra() {
+        let mut el = generators::erdos_renyi(150, 900, 10);
+        el.randomize_weights(0.5, 3.0, 11);
+        let expect = seq::dijkstra(&el, 0);
+        let got = run_sssp(&el, 3, 0, SsspStrategy::DeltaAsync(2.0));
+        assert_dists_eq(&got, &expect);
+    }
+
+    #[test]
+    fn cc_matches_union_find() {
+        let el = generators::component_blobs(5, 40, 2, 17);
+        let expect = seq::cc_labels(&el);
+        for ranks in [1, 4] {
+            let got = run_cc(&el, ranks);
+            assert_eq!(got, expect, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let el = generators::rmat(7, 6, generators::RmatParams::GRAPH500, 30);
+        let expect = dgp_graph::analysis::bfs_levels(&el, 0);
+        let got = run_bfs(&el, 3, 0);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let el = generators::rmat(6, 6, generators::RmatParams::GRAPH500, 31);
+        let expect = seq::pagerank(&el, 0.85, 20);
+        let got = run_pagerank(&el, 3, 0.85, 20);
+        for (i, (x, y)) in got.iter().zip(&expect).enumerate() {
+            assert!((x - y).abs() < 1e-6, "vertex {i}: {x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Hand-written active-message implementations: the "maximum performance /
+//! maximum control" extreme the paper positions patterns against (§I —
+//! "the algorithm can strive for maximum control over low-level details").
+//!
+//! These implement the same algorithms directly on `dgp-am`, with the
+//! communication written by hand: one message type per algorithm whose
+//! handler relaxes and immediately fans out. Experiment E7 measures the
+//! abstraction overhead of the pattern engine against these. Note what the
+//! paper observes: the hand-written versions fuse the relaxation with a
+//! specific traversal — there is no way to swap the strategy without
+//! rewriting the communication.
+
+use dgp_am::{AmCtx, CachingSender, ReducingSender};
+use dgp_graph::properties::{AtomicVertexMap, EdgeMap};
+use dgp_graph::{DistGraph, VertexId};
+
+/// Hand-coded chaotic-relaxation SSSP: a `(vertex, candidate)` message
+/// whose handler performs `fetch_min` and, on improvement, sends new
+/// candidates along all out-edges. Collective; registers one message type.
+pub fn sssp(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    weights: &EdgeMap<f64>,
+    source: VertexId,
+) -> AtomicVertexMap<f64> {
+    let rank = ctx.rank();
+    let dist = ctx.share(|| AtomicVertexMap::new(graph.distribution(), f64::INFINITY));
+    let (g, w, d) = (graph.clone(), weights.clone(), dist.clone());
+    let mt = ctx.register_named("hand-sssp-relax", move |hctx, (v, cand): (VertexId, f64)| {
+        let me = hctx.rank();
+        if d.fetch_min(me, v, cand).changed {
+            let sh = g.shard(me);
+            let li = sh.local_of(v);
+            for (e, trg) in sh.out_edges(li) {
+                hctx.send(g.owner(trg), (trg, cand + w.get_out(me, e)));
+            }
+        }
+    });
+    ctx.epoch(|ctx| {
+        if graph.owner(source) == rank {
+            mt.send(ctx, rank, (source, 0.0));
+        }
+    });
+    dist
+}
+
+/// Hand-coded BFS: level-setting via `(vertex, level)` messages.
+pub fn bfs(ctx: &AmCtx, graph: &DistGraph, source: VertexId) -> AtomicVertexMap<u64> {
+    let rank = ctx.rank();
+    let level = ctx.share(|| AtomicVertexMap::new(graph.distribution(), u64::MAX));
+    let (g, l) = (graph.clone(), level.clone());
+    let mt = ctx.register(move |hctx, (v, lvl): (VertexId, u64)| {
+        let me = hctx.rank();
+        if l.fetch_min(me, v, lvl).changed {
+            let sh = g.shard(me);
+            let li = sh.local_of(v);
+            for (_, trg) in sh.out_edges(li) {
+                hctx.send(g.owner(trg), (trg, lvl + 1));
+            }
+        }
+    });
+    ctx.epoch(|ctx| {
+        if graph.owner(source) == rank {
+            mt.send(ctx, rank, (source, 0));
+        }
+    });
+    level
+}
+
+/// BFS through a duplicate-eliminating [`CachingSender`] (experiment E2):
+/// a frontier vertex reachable through many same-level edges produces
+/// identical `(vertex, level)` messages, which the cache drops before they
+/// cross the wire — the paper's "algorithms that produce potentially large
+/// amounts of repetitive work".
+pub fn bfs_cached(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    source: VertexId,
+    cache_slots: usize,
+) -> AtomicVertexMap<u64> {
+    use std::sync::OnceLock;
+    let rank = ctx.rank();
+    let level = ctx.share(|| AtomicVertexMap::new(graph.distribution(), u64::MAX));
+    let (g, l) = (graph.clone(), level.clone());
+    // The handler sends through the cache, so tie the knot with OnceLock.
+    type CacheCell = std::sync::Arc<OnceLock<std::sync::Arc<CachingSender<(VertexId, u64)>>>>;
+    let cache_cell: CacheCell = std::sync::Arc::new(OnceLock::new());
+    let cc2 = cache_cell.clone();
+    let mt = ctx.register(move |hctx, (v, lvl): (VertexId, u64)| {
+        let me = hctx.rank();
+        if l.fetch_min(me, v, lvl).changed {
+            let sh = g.shard(me);
+            let li = sh.local_of(v);
+            let cache = cc2.get().expect("cache installed before first epoch");
+            for (_, trg) in sh.out_edges(li) {
+                cache.send(hctx, g.owner(trg), (trg, lvl + 1));
+            }
+        }
+    });
+    let cache = CachingSender::new(mt, ctx.num_ranks(), cache_slots);
+    cache_cell
+        .set(cache.clone())
+        .unwrap_or_else(|_| unreachable!("installed once"));
+    ctx.epoch(|ctx| {
+        if graph.owner(source) == rank {
+            cache.send(ctx, rank, (source, 0));
+        }
+    });
+    level
+}
+
+/// SSSP through a min-combining [`ReducingSender`] (experiment E3):
+/// relaxations of the same target vertex are combined to their minimum
+/// candidate before transmission — the paper's §II-B note that "our
+/// implementation based on AM++ allows reductions of unnecessary
+/// communication".
+pub fn sssp_reduced(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    weights: &EdgeMap<f64>,
+    source: VertexId,
+    table_slots: usize,
+) -> AtomicVertexMap<f64> {
+    use std::sync::OnceLock;
+    let rank = ctx.rank();
+    let dist = ctx.share(|| AtomicVertexMap::new(graph.distribution(), f64::INFINITY));
+    let (g, w, d) = (graph.clone(), weights.clone(), dist.clone());
+    let red_cell: std::sync::Arc<OnceLock<std::sync::Arc<ReducingSender<VertexId, f64>>>> =
+        std::sync::Arc::new(OnceLock::new());
+    let rc2 = red_cell.clone();
+    let mt = ctx.register(move |hctx, (v, cand): (VertexId, f64)| {
+        let me = hctx.rank();
+        if d.fetch_min(me, v, cand).changed {
+            let sh = g.shard(me);
+            let li = sh.local_of(v);
+            let red = rc2.get().expect("reducer installed before first epoch");
+            for (e, trg) in sh.out_edges(li) {
+                red.send(hctx, g.owner(trg), trg, cand + w.get_out(me, e));
+            }
+        }
+    });
+    let red = ReducingSender::new(mt, ctx.num_ranks(), table_slots, f64::min);
+    ctx.register_flushable(red.clone());
+    red_cell
+        .set(red.clone())
+        .unwrap_or_else(|_| unreachable!("installed once"));
+    ctx.epoch(|ctx| {
+        if graph.owner(source) == rank {
+            red.send(ctx, rank, source, 0.0);
+        }
+    });
+    dist
+}
+
+/// Hand-coded CC by min-label propagation: every vertex floods its label;
+/// handlers keep the minimum and re-flood on improvement. Simpler than
+/// (and a baseline for) the paper's parallel-search algorithm — this is
+/// the "many different algorithms for CC" comparison point.
+pub fn cc_label_propagation(ctx: &AmCtx, graph: &DistGraph) -> AtomicVertexMap<u64> {
+    let rank = ctx.rank();
+    let dist0 = graph.distribution();
+    let labels = ctx.share(|| AtomicVertexMap::new(dist0, u64::MAX));
+    for v in dist0.owned(rank) {
+        labels.set(rank, v, v);
+    }
+    let (g, l) = (graph.clone(), labels.clone());
+    let mt = ctx.register(move |hctx, (v, lbl): (VertexId, u64)| {
+        let me = hctx.rank();
+        if l.fetch_min(me, v, lbl).changed {
+            let sh = g.shard(me);
+            let li = sh.local_of(v);
+            for trg in sh.adj(li) {
+                hctx.send(g.owner(trg), (trg, lbl));
+            }
+        }
+    });
+    ctx.barrier(); // all labels initialized
+    ctx.epoch(|ctx| {
+        let sh = graph.shard(rank);
+        for (li, v) in dist0.owned(rank).enumerate() {
+            for trg in sh.adj(li) {
+                mt.send(ctx, graph.owner(trg), (trg, v));
+            }
+        }
+    });
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use dgp_am::{Machine, MachineConfig};
+    use dgp_graph::{generators, Distribution, EdgeList};
+
+    fn build(el: &EdgeList, ranks: usize) -> DistGraph {
+        DistGraph::build(el, Distribution::block(el.num_vertices(), ranks), false)
+    }
+
+    #[test]
+    fn cached_bfs_matches_and_saves_messages() {
+        let el = generators::rmat(8, 8, generators::RmatParams::GRAPH500, 3);
+        let want = dgp_graph::analysis::bfs_levels(&el, 0);
+        let graph = build(&el, 2);
+        let mut out = Machine::run(MachineConfig::new(2), move |ctx| {
+            let plain = bfs(ctx, &graph, 0);
+            let before = ctx.stats();
+            let cached = bfs_cached(ctx, &graph, 0, 4096);
+            let after = ctx.stats();
+            (ctx.rank() == 0).then(|| {
+                (plain.snapshot(), cached.snapshot(), after.since(&before))
+            })
+        });
+        let (plain, cached, stats) = out[0].take().unwrap();
+        assert_eq!(plain, want);
+        assert_eq!(cached, want);
+        assert!(stats.cache_hits > 0, "duplicates were eliminated: {stats:?}");
+    }
+
+    #[test]
+    fn reduced_sssp_matches_and_combines() {
+        let mut el = generators::rmat(8, 8, generators::RmatParams::GRAPH500, 5);
+        el.randomize_weights(0.1, 1.0, 6);
+        let want = seq::dijkstra(&el, 0);
+        let graph = build(&el, 3);
+        let weights = dgp_graph::properties::EdgeMap::from_weights(&graph, &el);
+        let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+            let d = sssp_reduced(ctx, &graph, &weights, 0, 1024);
+            (ctx.rank() == 0).then(|| (d.snapshot(), ctx.stats()))
+        });
+        let (got, stats) = out[0].take().unwrap();
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                "vertex {i}: {a} vs {b}"
+            );
+        }
+        assert!(stats.reduction_combines > 0, "{stats:?}");
+    }
+}

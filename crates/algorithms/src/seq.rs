@@ -1,0 +1,237 @@
+//! Sequential reference algorithms: validation oracles and the
+//! single-node baselines of the experiment harness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dgp_graph::EdgeList;
+
+/// Dijkstra's label-setting SSSP (binary heap). Requires non-negative
+/// weights. `f64::INFINITY` = unreachable.
+pub fn dijkstra(el: &EdgeList, source: u64) -> Vec<f64> {
+    let n = el.num_vertices() as usize;
+    let ws = el.weights.as_ref().expect("weighted edge list");
+    let mut adj: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    for (&(u, v), &w) in el.edges.iter().zip(ws) {
+        assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+        adj[u as usize].push((v, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut heap: BinaryHeap<Reverse<(Ordered, u64)>> = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(Reverse((Ordered(0.0), source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let d = d.0;
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for &(v, w) in &adj[u as usize] {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((Ordered(nd), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Total-ordered f64 wrapper for the heap (all values are non-NaN here).
+#[derive(Clone, Copy, PartialEq)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Bellman–Ford SSSP: |V|−1 full relaxation rounds with early exit. The
+/// round count is the classic work baseline for label-correcting methods.
+/// Returns `(distances, rounds_used)`.
+pub fn bellman_ford(el: &EdgeList, source: u64) -> (Vec<f64>, usize) {
+    let n = el.num_vertices() as usize;
+    let ws = el.weights.as_ref().expect("weighted edge list");
+    let mut dist = vec![f64::INFINITY; n];
+    if n == 0 {
+        return (dist, 0);
+    }
+    dist[source as usize] = 0.0;
+    let mut rounds = 0;
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for (&(u, v), &w) in el.edges.iter().zip(ws) {
+            let cand = dist[u as usize] + w;
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                changed = true;
+            }
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+    }
+    (dist, rounds)
+}
+
+/// Union-find with path halving and union by size.
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// A forest of `n` singletons.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns whether they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Connected components via union-find, labelled by the minimum vertex id
+/// of each component (the canonical form our distributed CC also
+/// produces).
+pub fn cc_labels(el: &EdgeList) -> Vec<u64> {
+    let n = el.num_vertices() as usize;
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in &el.edges {
+        uf.union(u as usize, v as usize);
+    }
+    let mut min_label = vec![u64::MAX; n];
+    for v in 0..n {
+        let r = uf.find(v);
+        min_label[r] = min_label[r].min(v as u64);
+    }
+    (0..n).map(|v| min_label[uf.find(v)]).collect()
+}
+
+/// Sequential PageRank with uniform dangling redistribution — the same
+/// scheme as the distributed pattern, so results match to float
+/// tolerance.
+pub fn pagerank(el: &EdgeList, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = el.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let deg = el.out_degrees();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut acc = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let dangling: f64 = (0..n).filter(|&v| deg[v] == 0).map(|v| rank[v]).sum();
+        for &(u, v) in &el.edges {
+            acc[v as usize] += rank[u as usize] / deg[u as usize] as f64;
+        }
+        for v in 0..n {
+            rank[v] = (1.0 - damping) / n as f64 + damping * (acc[v] + dangling / n as f64);
+            acc[v] = 0.0;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgp_graph::generators;
+
+    fn weighted_diamond() -> EdgeList {
+        EdgeList::from_weighted(
+            4,
+            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 6.0), (2, 3, 1.0)],
+        )
+    }
+
+    #[test]
+    fn dijkstra_diamond() {
+        let d = dijkstra(&weighted_diamond(), 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bellman_ford_agrees_with_dijkstra() {
+        let mut el = generators::rmat(7, 8, generators::RmatParams::GRAPH500, 11);
+        el.randomize_weights(0.1, 2.0, 3);
+        let a = dijkstra(&el, 0);
+        let (b, rounds) = bellman_ford(&el, 0);
+        assert!(rounds >= 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9 || (x.is_infinite() && y.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let el = EdgeList::from_weighted(3, &[(0, 1, 1.0)]);
+        let d = dijkstra(&el, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn union_find_components() {
+        let el = generators::disjoint_cliques(3, 4);
+        let labels = cc_labels(&el);
+        assert_eq!(labels[..4], [0, 0, 0, 0]);
+        assert_eq!(labels[4..8], [4, 4, 4, 4]);
+        assert_eq!(labels[8..], [8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn cc_isolated_vertices_self_label() {
+        let el = EdgeList::from_pairs(5, &[(0, 1), (1, 0)]);
+        let labels = cc_labels(&el);
+        assert_eq!(labels, vec![0, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let el = generators::rmat(6, 4, generators::RmatParams::GRAPH500, 5);
+        let pr = pagerank(&el, 0.85, 30);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn pagerank_star_hub_sinks() {
+        // Star with edges 0 -> i: leaves accumulate rank from the hub.
+        let el = generators::star(5);
+        let pr = pagerank(&el, 0.85, 50);
+        assert!(pr[1] > pr[0]);
+        assert!((pr[1] - pr[4]).abs() < 1e-12);
+    }
+}

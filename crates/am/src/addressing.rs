@@ -1,0 +1,90 @@
+//! Object-based addressing (AM++ §IV-D of the paper).
+//!
+//! AM++ requires a node address for every message, but the address does not
+//! have to be given explicitly: an *address map* computes the destination
+//! rank from the message payload. In the graph setting every message
+//! carries the vertex (the *locality*) it is destined for, and the graph's
+//! distribution supplies the vertex → rank mapping; the pattern engine
+//! generates such address maps automatically alongside its message types.
+
+use crate::machine::RankId;
+
+/// Computes the destination rank of a message from its payload.
+///
+/// Address maps are stateless functions of the payload (plus whatever
+/// distribution data they capture), mirroring the paper's "the address maps
+/// are stateless, and simply extract the destination vertex from a message".
+pub trait AddressMap<T>: Send + Sync {
+    /// The rank that must handle `msg`.
+    fn rank_of(&self, msg: &T) -> RankId;
+}
+
+/// Any `Fn(&T) -> RankId` is an address map.
+impl<T, F> AddressMap<T> for F
+where
+    F: Fn(&T) -> RankId + Send + Sync,
+{
+    fn rank_of(&self, msg: &T) -> RankId {
+        self(msg)
+    }
+}
+
+/// Addresses messages by reducing a key modulo the rank count — the
+/// degenerate distribution used when no graph is involved.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuloAddress {
+    /// Number of ranks to spread keys over.
+    pub ranks: usize,
+}
+
+impl AddressMap<u64> for ModuloAddress {
+    fn rank_of(&self, msg: &u64) -> RankId {
+        (*msg % self.ranks as u64) as RankId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, MachineConfig};
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+    use std::sync::Arc;
+
+    #[test]
+    fn closure_is_an_address_map() {
+        let am = |m: &u32| (*m as usize) % 3;
+        assert_eq!(am.rank_of(&7), 1);
+    }
+
+    #[test]
+    fn modulo_address() {
+        let am = ModuloAddress { ranks: 4 };
+        assert_eq!(am.rank_of(&9), 1);
+    }
+
+    #[test]
+    fn send_addressed_routes_by_payload() {
+        let per_rank: Arc<Vec<AtomicU64>> =
+            Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let p2 = per_rank.clone();
+        Machine::run(MachineConfig::new(4), move |ctx| {
+            let per_rank = p2.clone();
+            let mt = ctx.register(move |ctx, _x: u64| {
+                per_rank[ctx.rank()].fetch_add(1, SeqCst);
+            });
+            let addr = ModuloAddress {
+                ranks: ctx.num_ranks(),
+            };
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for v in 0..100u64 {
+                        mt.send_addressed(ctx, &addr, v);
+                    }
+                }
+            });
+        });
+        for r in 0..4 {
+            assert_eq!(per_rank[r].load(SeqCst), 25, "rank {r}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Message caching: duplicate elimination (one of the AM++ layers).
+//!
+//! "Caching allows to avoid unnecessary message sends and the corresponding
+//! handler calls in algorithms that produce potentially large amounts of
+//! repetitive work" — e.g. a BFS/CC frontier that discovers the same vertex
+//! through many edges. A [`CachingSender`] keeps, per destination rank, a
+//! direct-mapped cache of recently sent messages and silently drops an
+//! outgoing message that is identical to the cached entry in its slot.
+//!
+//! Dropping duplicates is only sound for *idempotent* handlers (handling a
+//! message twice must be equivalent to handling it once — true for all
+//! pattern-generated messages, whose effect is a guarded property-map
+//! modification). Caches must be [cleared](CachingSender::clear) whenever
+//! the property values that make re-sends redundant change meaning, e.g.
+//! between algorithm phases; experiment E2 measures the hit rate.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::machine::{AmCtx, MessageType, RankId};
+use crate::stats::MachineStats;
+
+struct DestCache<T> {
+    slots: Vec<Option<T>>,
+    mask: usize,
+}
+
+impl<T: Hash + Eq> DestCache<T> {
+    fn new(capacity_pow2: usize) -> Self {
+        DestCache {
+            slots: (0..capacity_pow2).map(|_| None).collect(),
+            mask: capacity_pow2 - 1,
+        }
+    }
+
+    /// Returns `true` when `msg` is a duplicate of the cached entry (drop
+    /// it); otherwise installs `msg` in its slot.
+    fn check_and_insert(&mut self, msg: &T) -> bool
+    where
+        T: Clone,
+    {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        msg.hash(&mut h);
+        let slot = (h.finish() as usize) & self.mask;
+        match &self.slots[slot] {
+            Some(cached) if cached == msg => true,
+            _ => {
+                self.slots[slot] = Some(msg.clone());
+                false
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+}
+
+/// A duplicate-eliminating wrapper around a [`MessageType`].
+///
+/// Shared across the threads of a rank (handlers may send through it); each
+/// destination's cache sits behind its own mutex, so contention is spread
+/// across destinations.
+pub struct CachingSender<T: Hash + Eq + Clone + Send + 'static> {
+    inner: MessageType<T>,
+    caches: Vec<Mutex<DestCache<T>>>,
+}
+
+impl<T: Hash + Eq + Clone + Send + 'static> CachingSender<T> {
+    /// Wrap `inner` with per-destination caches of `capacity` slots
+    /// (rounded up to a power of two).
+    pub fn new(inner: MessageType<T>, ranks: usize, capacity: usize) -> Arc<Self> {
+        let cap = capacity.next_power_of_two().max(1);
+        Arc::new(CachingSender {
+            inner,
+            caches: (0..ranks).map(|_| Mutex::new(DestCache::new(cap))).collect(),
+        })
+    }
+
+    /// Send `msg` to `dest` unless an identical message to `dest` is cached.
+    /// Returns `true` if the message was actually sent.
+    pub fn send(&self, ctx: &AmCtx, dest: RankId, msg: T) -> bool {
+        let dup = self.caches[dest].lock().check_and_insert(&msg);
+        if dup {
+            MachineStats::bump(&ctx.stats_handle().cache_hits, 1);
+            false
+        } else {
+            MachineStats::bump(&ctx.stats_handle().cache_misses, 1);
+            self.inner.send(ctx, dest, msg);
+            true
+        }
+    }
+
+    /// Invalidate all cached entries (e.g. between phases).
+    pub fn clear(&self) {
+        for c in &self.caches {
+            c.lock().clear();
+        }
+    }
+
+    /// The wrapped message type.
+    pub fn inner(&self) -> MessageType<T> {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, MachineConfig};
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let handled = Arc::new(AtomicU64::new(0));
+        let h2 = handled.clone();
+        let stats = Machine::run(MachineConfig::new(2), move |ctx| {
+            let handled = h2.clone();
+            let mt = ctx.register(move |_ctx, _v: u64| {
+                handled.fetch_add(1, SeqCst);
+            });
+            let cache = CachingSender::new(mt, ctx.num_ranks(), 256);
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for _ in 0..10 {
+                        for v in 0..8u64 {
+                            cache.send(ctx, 1, v);
+                        }
+                    }
+                }
+            });
+            ctx.stats()
+        });
+        // 80 attempted sends, only 8 distinct: 72 hits.
+        assert_eq!(handled.load(SeqCst), 8);
+        assert_eq!(stats[0].cache_hits, 72);
+        assert_eq!(stats[0].cache_misses, 8);
+    }
+
+    #[test]
+    fn clear_forgets_entries() {
+        let handled = Arc::new(AtomicU64::new(0));
+        let h2 = handled.clone();
+        Machine::run(MachineConfig::new(1), move |ctx| {
+            let handled = h2.clone();
+            let mt = ctx.register(move |_ctx, _v: u64| {
+                handled.fetch_add(1, SeqCst);
+            });
+            let cache = CachingSender::new(mt, 1, 16);
+            ctx.epoch(|ctx| {
+                assert!(cache.send(ctx, 0, 7));
+                assert!(!cache.send(ctx, 0, 7));
+            });
+            cache.clear();
+            ctx.epoch(|ctx| {
+                assert!(cache.send(ctx, 0, 7));
+            });
+        });
+        assert_eq!(handled.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn collisions_evict_and_still_send() {
+        // Capacity 1: every distinct message maps to the same slot.
+        let handled = Arc::new(AtomicU64::new(0));
+        let h2 = handled.clone();
+        Machine::run(MachineConfig::new(1), move |ctx| {
+            let handled = h2.clone();
+            let mt = ctx.register(move |_ctx, _v: u64| {
+                handled.fetch_add(1, SeqCst);
+            });
+            let cache = CachingSender::new(mt, 1, 1);
+            ctx.epoch(|ctx| {
+                for v in 0..10u64 {
+                    assert!(cache.send(ctx, 0, v), "distinct messages always go");
+                }
+            });
+        });
+        assert_eq!(handled.load(SeqCst), 10);
+    }
+}

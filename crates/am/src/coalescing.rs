@@ -1,0 +1,108 @@
+//! Message coalescing.
+//!
+//! AM++ ships messages in batches: each sending thread keeps, for every
+//! (message type, destination rank) pair, a buffer of pending messages; a
+//! full buffer is shipped as one *envelope*. The paper lists coalescing as
+//! one of the AM++ layers that make fine-grained vertex messaging viable
+//! ("coalescing greatly improves performance when large amounts of messages
+//! are sent"). Experiment E1 sweeps the buffer capacity.
+//!
+//! Buffers are thread-local (each [`crate::AmCtx`] owns its own), so the
+//! send fast path takes no locks. Threads flush their own buffers whenever
+//! they go idle, and epoch termination cannot be declared while any buffer
+//! holds messages (buffered messages are already counted in `sent` but not
+//! yet in `handled`).
+
+use std::any::Any;
+
+use crate::machine::{deliver, Envelope, RankId, Shared};
+
+/// Type-erased per-type coalescing buffers, one slot per destination rank.
+pub(crate) trait ErasedBuffers: Any {
+    /// Ship every non-empty destination buffer. Returns envelopes shipped.
+    fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize;
+    /// True when no destination holds pending messages.
+    #[allow(dead_code)]
+    fn is_empty(&self) -> bool;
+    /// Total pending messages across destinations.
+    #[allow(dead_code)]
+    fn pending(&self) -> usize;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Buffers for one concrete message type `T`.
+pub(crate) struct TypedBuffers<T: Send + 'static> {
+    type_id: u32,
+    capacity: usize,
+    per_dest: Vec<Vec<T>>,
+}
+
+impl<T: Send + 'static> TypedBuffers<T> {
+    pub(crate) fn new(type_id: u32, capacity: usize, ranks: usize) -> Self {
+        TypedBuffers {
+            type_id,
+            capacity,
+            per_dest: (0..ranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Buffer one message; ship the destination's batch if it reached
+    /// capacity. Returns whether an envelope was shipped.
+    pub(crate) fn push(&mut self, shared: &Shared, from: RankId, dest: RankId, msg: T) -> bool {
+        let buf = &mut self.per_dest[dest];
+        if buf.capacity() == 0 {
+            buf.reserve_exact(self.capacity);
+        }
+        buf.push(msg);
+        if buf.len() >= self.capacity {
+            self.flush_dest(shared, from, dest);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_dest(&mut self, shared: &Shared, from: RankId, dest: RankId) {
+        let buf = &mut self.per_dest[dest];
+        if buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(buf);
+        let count = batch.len() as u32;
+        deliver(
+            shared,
+            from,
+            dest,
+            Envelope {
+                type_id: self.type_id,
+                count,
+                payload: Box::new(batch),
+            },
+        );
+    }
+}
+
+impl<T: Send + 'static> ErasedBuffers for TypedBuffers<T> {
+    fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize {
+        let mut shipped = 0;
+        for dest in 0..self.per_dest.len() {
+            if !self.per_dest[dest].is_empty() {
+                self.flush_dest(shared, from, dest);
+                shipped += 1;
+            }
+        }
+        shipped
+    }
+
+    fn is_empty(&self) -> bool {
+        self.per_dest.iter().all(|b| b.is_empty())
+    }
+
+    fn pending(&self) -> usize {
+        self.per_dest.iter().map(|b| b.len()).sum()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,165 @@
+//! Small collective operations over the ranks of one machine.
+//!
+//! Strategies in the paper need coarse coordination outside the
+//! message-driven data path: the `once` strategy returns "did *any* rank
+//! modify a property map" (a global OR), epochs are entered collectively,
+//! and the CC driver loops until a global fixed point. These are provided
+//! here as a counted, condvar-based reduce: every rank contributes a value,
+//! the last arrival combines and publishes, everyone reads the result.
+//!
+//! Rounds are naturally serialized: a rank cannot begin round *r + 1* until
+//! round *r* has completed (its call blocks), so a single result slot is
+//! race-free.
+
+use parking_lot::{Condvar, Mutex};
+
+struct CollState {
+    generation: u64,
+    arrived: usize,
+    acc: Option<u64>,
+    result: u64,
+    poisoned: bool,
+}
+
+/// A reusable counted reduction across a fixed set of participants.
+pub struct Collective {
+    participants: usize,
+    state: Mutex<CollState>,
+    cv: Condvar,
+}
+
+impl Collective {
+    /// Create a collective for `participants` ranks.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants >= 1);
+        Collective {
+            participants,
+            state: Mutex::new(CollState {
+                generation: 0,
+                arrived: 0,
+                acc: None,
+                result: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// All-reduce: every participant calls with its contribution and the
+    /// same associative, commutative `op`; every participant returns the
+    /// combined value. Blocks until all participants of this round arrive.
+    pub fn all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let mut st = self.state.lock();
+        assert!(!st.poisoned, "collective poisoned: another rank panicked");
+        let my_gen = st.generation;
+        st.acc = Some(match st.acc {
+            None => mine,
+            Some(a) => op(a, mine),
+        });
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.result = st.acc.take().expect("accumulator populated this round");
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        } else {
+            while st.generation == my_gen {
+                self.cv.wait(&mut st);
+                assert!(!st.poisoned, "collective poisoned: another rank panicked");
+            }
+        }
+        st.result
+    }
+
+    /// Mark the collective unusable and wake all waiters: called when a
+    /// participant panics so the others fail fast instead of deadlocking.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Barrier: returns once every participant has arrived.
+    pub fn barrier(&self) {
+        self.all_reduce(0, |_, _| 0);
+    }
+
+    /// Global logical OR of per-rank booleans.
+    pub fn any(&self, mine: bool) -> bool {
+        self.all_reduce(mine as u64, |a, b| a | b) != 0
+    }
+
+    /// Global sum.
+    pub fn sum(&self, mine: u64) -> u64 {
+        self.all_reduce(mine, |a, b| a + b)
+    }
+
+    /// Global minimum.
+    pub fn min(&self, mine: u64) -> u64 {
+        self.all_reduce(mine, |a, b| a.min(b))
+    }
+
+    /// Global maximum.
+    pub fn max(&self, mine: u64) -> u64 {
+        self.all_reduce(mine, |a, b| a.max(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn with_threads(n: usize, f: impl Fn(usize, &Collective) + Send + Sync) {
+        let coll = Arc::new(Collective::new(n));
+        std::thread::scope(|s| {
+            for r in 0..n {
+                let coll = coll.clone();
+                let f = &f;
+                s.spawn(move || f(r, &coll));
+            }
+        });
+    }
+
+    #[test]
+    fn sum_across_threads() {
+        with_threads(8, |r, c| {
+            let total = c.sum(r as u64);
+            assert_eq!(total, 28);
+        });
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_mix() {
+        with_threads(4, |r, c| {
+            for round in 0..100u64 {
+                let got = c.sum(round + r as u64);
+                assert_eq!(got, 4 * round + 6);
+            }
+        });
+    }
+
+    #[test]
+    fn any_is_global_or() {
+        with_threads(4, |r, c| {
+            assert!(c.any(r == 2));
+            assert!(!c.any(false));
+        });
+    }
+
+    #[test]
+    fn min_max() {
+        with_threads(3, |r, c| {
+            assert_eq!(c.min(10 + r as u64), 10);
+            assert_eq!(c.max(10 + r as u64), 12);
+        });
+    }
+
+    #[test]
+    fn single_participant_is_identity() {
+        let c = Collective::new(1);
+        assert_eq!(c.sum(41), 41);
+        c.barrier();
+        assert!(c.any(true));
+    }
+}

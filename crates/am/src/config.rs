@@ -1,0 +1,143 @@
+//! Machine configuration.
+
+use std::time::Duration;
+
+/// Which termination-detection algorithm an epoch uses to decide that all
+/// activity has quiesced (see `termination` module docs for the algorithms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// Quiescence is detected by comparing the machine-wide totals of
+    /// messages sent and messages handled (read via shared atomics). This is
+    /// the fast path available because ranks share a process.
+    #[default]
+    SharedCounters,
+    /// A faithful distributed algorithm: rank 0 circulates count-collecting
+    /// token waves around a ring of control channels and declares
+    /// termination after two consecutive stable waves with `sent ==
+    /// handled` (a four-counter / Safra-style scheme). No cross-rank shared
+    /// state is read; only messages.
+    FourCounterWave,
+}
+
+/// Configuration for a simulated distributed machine.
+///
+/// A machine consists of `ranks` nodes; each node runs the user's SPMD
+/// program on a main thread plus `threads_per_rank - 1` handler worker
+/// threads (AM++'s multi-threaded nodes). Messages of one type to one
+/// destination are coalesced into batches of up to `coalescing_capacity`.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of simulated nodes. Must be at least 1.
+    pub ranks: usize,
+    /// Threads that process handlers on each rank, *including* the rank's
+    /// main thread (which processes handlers whenever it is inside an epoch
+    /// and idle). Must be at least 1.
+    pub threads_per_rank: usize,
+    /// Number of messages of one type buffered per destination before an
+    /// envelope is shipped. 1 disables coalescing.
+    pub coalescing_capacity: usize,
+    /// How long an idle thread blocks waiting for messages before it
+    /// re-checks buffers and shutdown/termination conditions.
+    pub recv_timeout: Duration,
+    /// Termination-detection algorithm used by epochs.
+    pub termination: TerminationMode,
+    /// Capacity of the envelope trace ring (0 = tracing off). When on,
+    /// the machine records the last N envelope deliveries
+    /// `(epoch, from, to, type, count)` for postmortem inspection via
+    /// `AmCtx::trace`.
+    pub trace_envelopes: usize,
+}
+
+impl MachineConfig {
+    /// A config with `ranks` single-threaded ranks and default tuning.
+    pub fn new(ranks: usize) -> Self {
+        MachineConfig {
+            ranks,
+            threads_per_rank: 1,
+            coalescing_capacity: 64,
+            recv_timeout: Duration::from_micros(100),
+            termination: TerminationMode::SharedCounters,
+            trace_envelopes: 0,
+        }
+    }
+
+    /// Set the number of handler threads per rank (including the main
+    /// thread).
+    pub fn threads_per_rank(mut self, t: usize) -> Self {
+        self.threads_per_rank = t;
+        self
+    }
+
+    /// Set the coalescing buffer capacity (1 disables coalescing).
+    pub fn coalescing(mut self, cap: usize) -> Self {
+        self.coalescing_capacity = cap;
+        self
+    }
+
+    /// Select the termination-detection algorithm.
+    pub fn termination(mut self, mode: TerminationMode) -> Self {
+        self.termination = mode;
+        self
+    }
+
+    /// Enable envelope tracing with a ring of `capacity` events.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_envelopes = capacity;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.ranks >= 1, "a machine needs at least one rank");
+        assert!(
+            self.threads_per_rank >= 1,
+            "each rank needs at least its main thread"
+        );
+        assert!(
+            self.coalescing_capacity >= 1,
+            "coalescing capacity must be at least 1"
+        );
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = MachineConfig::new(4)
+            .threads_per_rank(2)
+            .coalescing(16)
+            .termination(TerminationMode::FourCounterWave);
+        assert_eq!(c.ranks, 4);
+        assert_eq!(c.threads_per_rank, 2);
+        assert_eq!(c.coalescing_capacity, 16);
+        assert_eq!(c.termination, TerminationMode::FourCounterWave);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        MachineConfig::new(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "coalescing capacity")]
+    fn zero_coalescing_rejected() {
+        MachineConfig::new(1).coalescing(0).validate();
+    }
+
+    #[test]
+    fn default_is_single_rank() {
+        let c = MachineConfig::default();
+        assert_eq!(c.ranks, 1);
+        assert_eq!(c.termination, TerminationMode::SharedCounters);
+    }
+}

@@ -1,0 +1,1253 @@
+//! The simulated distributed machine: ranks, typed messages, handlers,
+//! epochs.
+//!
+//! See the crate docs for the model. The important invariants maintained
+//! here:
+//!
+//! * every logical message increments its sender rank's `sent` counter
+//!   *before* it becomes receivable (it enters a coalescing buffer first),
+//!   and the handling rank's `handled` counter after its handler returns —
+//!   the basis of termination detection (see [`crate::termination`]);
+//! * user code only ever holds an [`AmCtx`] for its own rank/thread, and all
+//!   cross-rank effects go through messages;
+//! * handlers may send arbitrary messages, including to their own rank.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::addressing::AddressMap;
+use crate::coalescing::{ErasedBuffers, TypedBuffers};
+use crate::collectives::Collective;
+use crate::config::{MachineConfig, TerminationMode};
+use crate::stats::{MachineStats, StatsSnapshot, TypeStat, TypeStatSnapshot};
+use crate::termination::{ring_next, Token};
+
+/// Index of a rank (simulated node) within a machine.
+pub type RankId = usize;
+
+/// One recorded envelope delivery (tracing; see
+/// [`MachineConfig::trace`](crate::MachineConfig::trace)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Epochs completed when the envelope was delivered (i.e. the
+    /// 0-indexed epoch it belongs to, modulo detection-tail timing).
+    pub epoch: u64,
+    /// Sending rank.
+    pub from: RankId,
+    /// Receiving rank.
+    pub to: RankId,
+    /// Message type id (see [`AmCtx::type_stats`] for names).
+    pub type_id: u32,
+    /// Messages coalesced into the envelope.
+    pub count: u32,
+}
+
+struct TraceRing {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+/// A batch of coalesced messages of one type, in flight to one rank.
+pub(crate) struct Envelope {
+    pub(crate) type_id: u32,
+    pub(crate) count: u32,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+type ErasedHandler = dyn Fn(&AmCtx, Box<dyn Any + Send>, u32) + Send + Sync;
+
+/// Layers that hold messages back (e.g. reduction tables) register
+/// themselves so the runtime can flush them while detecting termination.
+pub trait Flushable: Send + Sync {
+    /// Forward all held messages. Returns how many were forwarded.
+    fn flush(&self, ctx: &AmCtx) -> usize;
+    /// Messages currently held.
+    fn pending(&self) -> usize;
+}
+
+pub(crate) struct RankShared {
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+    ctl_tx: Sender<Token>,
+    ctl_rx: Receiver<Token>,
+    handlers: RwLock<Vec<Arc<ErasedHandler>>>,
+    flushables: RwLock<Vec<Arc<dyn Flushable>>>,
+    sent: AtomicU64,
+    handled: AtomicU64,
+    idle: AtomicBool,
+}
+
+pub(crate) struct Shared {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) ranks: Vec<RankShared>,
+    /// Number of ranks currently between epoch entry and exit (for asserts).
+    epoch_active: AtomicUsize,
+    /// Highest epoch generation whose termination has been observed.
+    completed_epoch: AtomicU64,
+    shutdown: AtomicBool,
+    /// Set when any thread panics, so blocked peers fail fast.
+    poisoned: AtomicBool,
+    coll: Collective,
+    /// Scratch slot for the collective `share` primitive.
+    share_slot: parking_lot::Mutex<Option<Box<dyn Any + Send>>>,
+    /// Per-message-type counters, indexed by type id (registration is
+    /// collective, so ids agree across ranks).
+    type_stats: RwLock<Vec<Arc<TypeStat>>>,
+    /// Optional envelope trace ring.
+    trace: Option<parking_lot::Mutex<TraceRing>>,
+    pub(crate) stats: MachineStats,
+}
+
+impl Shared {
+    fn new(cfg: MachineConfig) -> Self {
+        let ranks = (0..cfg.ranks)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                let (ctl_tx, ctl_rx) = unbounded();
+                RankShared {
+                    tx,
+                    rx,
+                    ctl_tx,
+                    ctl_rx,
+                    handlers: RwLock::new(Vec::new()),
+                    flushables: RwLock::new(Vec::new()),
+                    sent: AtomicU64::new(0),
+                    handled: AtomicU64::new(0),
+                    idle: AtomicBool::new(false),
+                }
+            })
+            .collect();
+        let participants = cfg.ranks;
+        let trace = (cfg.trace_envelopes > 0).then(|| {
+            parking_lot::Mutex::new(TraceRing {
+                events: std::collections::VecDeque::with_capacity(cfg.trace_envelopes),
+                capacity: cfg.trace_envelopes,
+            })
+        });
+        Shared {
+            cfg,
+            ranks,
+            epoch_active: AtomicUsize::new(0),
+            completed_epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            coll: Collective::new(participants),
+            share_slot: parking_lot::Mutex::new(None),
+            type_stats: RwLock::new(Vec::new()),
+            trace,
+            stats: MachineStats::default(),
+        }
+    }
+
+    fn total_handled(&self) -> u64 {
+        self.ranks.iter().map(|r| r.handled.load(SeqCst)).sum()
+    }
+
+    fn total_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.sent.load(SeqCst)).sum()
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, SeqCst);
+        self.shutdown.store(true, SeqCst);
+        self.coll.poison();
+    }
+
+    fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(SeqCst),
+            "machine poisoned: another rank or handler panicked"
+        );
+    }
+
+    fn all_idle(&self) -> bool {
+        self.ranks.iter().all(|r| r.idle.load(SeqCst))
+    }
+}
+
+/// Push an envelope into `dest`'s inbox (used by the coalescing layer).
+pub(crate) fn deliver(shared: &Shared, from: RankId, dest: RankId, env: Envelope) {
+    MachineStats::bump(&shared.stats.envelopes_sent, 1);
+    if let Some(trace) = &shared.trace {
+        let ev = TraceEvent {
+            epoch: shared.stats.epochs.load(SeqCst),
+            from,
+            to: dest,
+            type_id: env.type_id,
+            count: env.count,
+        };
+        let mut ring = trace.lock();
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(ev);
+    }
+    shared.ranks[dest]
+        .tx
+        .send(env)
+        .expect("rank inboxes live as long as the machine");
+}
+
+/// A handle to one registered message type. Cheap to copy; sending requires
+/// the sender thread's [`AmCtx`].
+pub struct MessageType<T> {
+    id: u32,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T> Clone for MessageType<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for MessageType<T> {}
+
+impl<T: Send + 'static> MessageType<T> {
+    /// Send `msg` to rank `dest` through `ctx`'s coalescing buffers.
+    pub fn send(&self, ctx: &AmCtx, dest: RankId, msg: T) {
+        ctx.send_typed(*self, dest, msg);
+    }
+
+    /// Send `msg`, computing the destination rank from the payload with an
+    /// [`AddressMap`] (AM++'s object-based addressing).
+    pub fn send_addressed<A: AddressMap<T> + ?Sized>(&self, ctx: &AmCtx, addr: &A, msg: T) {
+        let dest = addr.rank_of(&msg);
+        self.send(ctx, dest, msg);
+    }
+
+    /// The registration index of this type (diagnostic).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+/// The context a message handler runs in: the handling thread's [`AmCtx`]
+/// plus the handled message's own type, so handlers can re-send their own
+/// message type without tying the knot manually.
+pub struct HandlerCtx<'a, T> {
+    am: &'a AmCtx,
+    mt: MessageType<T>,
+}
+
+impl<'a, T: Send + 'static> HandlerCtx<'a, T> {
+    /// Send another message of the *handled* type.
+    pub fn send(&self, dest: RankId, msg: T) {
+        self.mt.send(self.am, dest, msg);
+    }
+
+    /// The handled message type, e.g. for storing in other structures.
+    pub fn message_type(&self) -> MessageType<T> {
+        self.mt
+    }
+}
+
+impl<'a, T> std::ops::Deref for HandlerCtx<'a, T> {
+    type Target = AmCtx;
+    fn deref(&self) -> &AmCtx {
+        self.am
+    }
+}
+
+/// Per-thread handle to the machine: the only way user code interacts with
+/// the runtime. Main threads (one per rank) run the SPMD program; worker
+/// threads run handlers. `AmCtx` is deliberately `!Sync` — it owns the
+/// thread's coalescing buffers.
+pub struct AmCtx {
+    shared: Arc<Shared>,
+    rank: RankId,
+    thread: usize,
+    bufs: RefCell<Vec<Option<Box<dyn ErasedBuffers>>>>,
+    in_epoch: Cell<bool>,
+    epochs_entered: Cell<u64>,
+}
+
+/// Entry point: run an SPMD program on a simulated machine.
+pub struct Machine;
+
+impl Machine {
+    /// Spawn `cfg.ranks` main threads (plus workers) and run `f` on each;
+    /// returns each rank's result, indexed by rank. Panics in `f` or in any
+    /// handler propagate.
+    pub fn run<F, R>(cfg: MachineConfig, f: F) -> Vec<R>
+    where
+        F: Fn(&AmCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        cfg.validate();
+        let shared = Arc::new(Shared::new(cfg.clone()));
+        let nranks = cfg.ranks;
+        let workers_per_rank = cfg.threads_per_rank - 1;
+        let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
+
+        std::thread::scope(|s| {
+            // Handler worker threads.
+            for rank in 0..nranks {
+                for w in 0..workers_per_rank {
+                    let shared = shared.clone();
+                    s.spawn(move || worker_loop(shared, rank, 1 + w));
+                }
+            }
+            // Main rank threads.
+            let mut handles = Vec::with_capacity(nranks);
+            for rank in 0..nranks {
+                let shared = shared.clone();
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let ctx = AmCtx::new(shared.clone(), rank, 0);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)));
+                    match r {
+                        Ok(r) => {
+                            // All epochs done everywhere before tearing down.
+                            ctx.barrier();
+                            debug_assert!(
+                                shared.ranks[rank].rx.is_empty(),
+                                "rank {rank} has unhandled messages after its last epoch \
+                                 — termination detection fired early"
+                            );
+                            shared.shutdown.store(true, SeqCst);
+                            r
+                        }
+                        Err(payload) => {
+                            shared.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    // Re-raise the original panic (handler/user panics keep
+                    // their message), and unblock the other ranks' teardown.
+                    Err(payload) => {
+                        shared.shutdown.store(true, SeqCst);
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank produces a result"))
+            .collect()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rank: RankId, thread: usize) {
+    let ctx = AmCtx::new(shared.clone(), rank, thread);
+    let rx = shared.ranks[rank].rx.clone();
+    loop {
+        match rx.recv_timeout(shared.cfg.recv_timeout) {
+            Ok(env) => {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ctx.handle_envelope(env);
+                    while let Ok(env) = rx.try_recv() {
+                        ctx.handle_envelope(env);
+                    }
+                }));
+                if let Err(payload) = r {
+                    shared.poison();
+                    std::panic::resume_unwind(payload);
+                }
+                // Ship whatever the handlers produced before blocking again.
+                ctx.flush_own_buffers();
+            }
+            Err(_) => {
+                ctx.flush_own_buffers();
+                ctx.flush_flushables();
+                ctx.flush_own_buffers();
+                if shared.shutdown.load(SeqCst) && rx.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl AmCtx {
+    fn new(shared: Arc<Shared>, rank: RankId, thread: usize) -> Self {
+        AmCtx {
+            shared,
+            rank,
+            thread,
+            bufs: RefCell::new(Vec::new()),
+            in_epoch: Cell::new(false),
+            epochs_entered: Cell::new(0),
+        }
+    }
+
+    /// This thread's rank (simulated node id).
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    pub fn num_ranks(&self) -> usize {
+        self.shared.cfg.ranks
+    }
+
+    /// Thread index within the rank (0 = the main program thread).
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.shared.cfg
+    }
+
+    /// Whether an epoch is currently active anywhere on the machine.
+    pub fn epoch_active(&self) -> bool {
+        self.shared.epoch_active.load(SeqCst) > 0
+    }
+
+    pub(crate) fn stats_handle(&self) -> &MachineStats {
+        &self.shared.stats
+    }
+
+    /// The recorded envelope trace (empty unless tracing was enabled via
+    /// the machine config).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        match &self.shared.trace {
+            Some(t) => t.lock().events.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-message-type counters (diagnostics; exact when quiescent).
+    pub fn type_stats(&self) -> Vec<TypeStatSnapshot> {
+        self.shared
+            .type_stats
+            .read()
+            .iter()
+            .map(|t| t.snapshot())
+            .collect()
+    }
+
+    /// Point-in-time statistics (exact when read outside an epoch).
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut s = self.shared.stats.snapshot();
+        s.messages_sent = self.shared.total_sent();
+        s.messages_handled = self.shared.total_handled();
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Collectively register a message type with this rank's handler for it.
+    ///
+    /// Every rank must register the same sequence of message types in the
+    /// same order (the SPMD discipline AM++ also requires); the handler
+    /// closure itself is rank-local and typically captures rank-local state.
+    /// Must not be called inside an epoch.
+    pub fn register<T, F>(&self, f: F) -> MessageType<T>
+    where
+        T: Send + 'static,
+        F: Fn(&HandlerCtx<'_, T>, T) + Send + Sync + 'static,
+    {
+        self.register_named(std::any::type_name::<T>(), f)
+    }
+
+    /// [`register`](Self::register) with an explicit diagnostic name for
+    /// per-type statistics ([`AmCtx::type_stats`]).
+    pub fn register_named<T, F>(&self, name: &str, f: F) -> MessageType<T>
+    where
+        T: Send + 'static,
+        F: Fn(&HandlerCtx<'_, T>, T) + Send + Sync + 'static,
+    {
+        assert!(
+            !self.in_epoch.get(),
+            "message types must be registered outside epochs"
+        );
+        assert_eq!(self.thread, 0, "only rank main threads register handlers");
+        let mut handlers = self.shared.ranks[self.rank].handlers.write();
+        let id = handlers.len() as u32;
+        // Machine-wide per-type counters: the first rank to register this
+        // id creates them; the rest attach.
+        let tstat = {
+            let mut ts = self.shared.type_stats.write();
+            if (id as usize) < ts.len() {
+                ts[id as usize].clone()
+            } else {
+                debug_assert_eq!(ts.len(), id as usize, "collective registration order");
+                let t = Arc::new(TypeStat::new(name.to_string()));
+                ts.push(t.clone());
+                t
+            }
+        };
+        let mt = MessageType {
+            id,
+            _marker: std::marker::PhantomData,
+        };
+        let handler_tstat = tstat;
+        let erased: Arc<ErasedHandler> =
+            Arc::new(move |ctx: &AmCtx, payload: Box<dyn Any + Send>, count: u32| {
+                let batch = payload
+                    .downcast::<Vec<T>>()
+                    .expect("message type registration order must match across ranks");
+                debug_assert_eq!(batch.len() as u32, count);
+                let hctx = HandlerCtx { am: ctx, mt };
+                let me = &ctx.shared.ranks[ctx.rank];
+                for msg in *batch {
+                    // A starting handler may deposit deferred local work;
+                    // lower the idle flag so try_finish's double scan sees
+                    // it (see crate::termination).
+                    me.idle.store(false, SeqCst);
+                    f(&hctx, msg);
+                    me.handled.fetch_add(1, SeqCst);
+                    MachineStats::bump(&ctx.shared.stats.messages_handled, 1);
+                    MachineStats::bump(&handler_tstat.handled, 1);
+                }
+            });
+        handlers.push(erased);
+        mt
+    }
+
+    /// Register a message-holding layer (e.g. a reduction table) to be
+    /// flushed by the runtime during idle periods and termination detection.
+    pub fn register_flushable(&self, fl: Arc<dyn Flushable>) {
+        self.shared.ranks[self.rank].flushables.write().push(fl);
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Send `msg` of registered type `mt` to rank `dest`.
+    pub fn send_msg<T: Send + 'static>(&self, mt: MessageType<T>, dest: RankId, msg: T) {
+        self.send_typed(mt, dest, msg);
+    }
+
+    pub(crate) fn send_typed<T: Send + 'static>(
+        &self,
+        mt: MessageType<T>,
+        dest: RankId,
+        msg: T,
+    ) {
+        debug_assert!(
+            self.epoch_active(),
+            "messages may only be sent inside an epoch"
+        );
+        assert!(dest < self.num_ranks(), "destination rank out of range");
+        self.shared.ranks[self.rank].sent.fetch_add(1, SeqCst);
+        MachineStats::bump(&self.shared.stats.messages_sent, 1);
+        if let Some(t) = self.shared.type_stats.read().get(mt.id as usize) {
+            MachineStats::bump(&t.sent, 1);
+        }
+        let mut bufs = self.bufs.borrow_mut();
+        let idx = mt.id as usize;
+        if bufs.len() <= idx {
+            bufs.resize_with(idx + 1, || None);
+        }
+        let cap = self.shared.cfg.coalescing_capacity;
+        let nranks = self.shared.cfg.ranks;
+        let slot = bufs[idx]
+            .get_or_insert_with(|| Box::new(TypedBuffers::<T>::new(mt.id, cap, nranks)));
+        let tb = slot
+            .as_any_mut()
+            .downcast_mut::<TypedBuffers<T>>()
+            .expect("message type ids are unique per machine");
+        tb.push(&self.shared, self.rank, dest, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Barrier across all rank main threads.
+    pub fn barrier(&self) {
+        debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
+        self.shared.coll.barrier();
+    }
+
+    /// All-reduce a `u64` across rank main threads.
+    pub fn all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
+        self.shared.coll.all_reduce(mine, op)
+    }
+
+    /// Global OR across rank main threads.
+    pub fn any_rank(&self, mine: bool) -> bool {
+        debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
+        self.shared.coll.any(mine)
+    }
+
+    /// Global sum across rank main threads.
+    pub fn sum_ranks(&self, mine: u64) -> u64 {
+        debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
+        self.shared.coll.sum(mine)
+    }
+
+    /// Collectively construct one shared value: the first rank to arrive
+    /// runs `make`, every rank receives a clone. The in-process stand-in
+    /// for "rank 0 builds + broadcasts" — used to create machine-wide
+    /// structures (property maps, graphs) from inside the SPMD program.
+    /// Every rank must call with the same type at the same point.
+    pub fn share<T: Clone + Send + 'static>(&self, make: impl FnOnce() -> T) -> T {
+        debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
+        self.barrier(); // round aligned: previous share fully cleared
+        let v = {
+            let mut slot = self.shared.share_slot.lock();
+            if slot.is_none() {
+                *slot = Some(Box::new(make()) as Box<dyn Any + Send>);
+            }
+            slot.as_ref()
+                .unwrap()
+                .downcast_ref::<T>()
+                .expect("all ranks must share the same type per round")
+                .clone()
+        };
+        self.barrier(); // all ranks cloned
+        // Idempotent clear; every take after this barrier precedes any
+        // construction of the next round (which sits behind its own entry
+        // barrier that this rank has not reached yet).
+        self.shared.share_slot.lock().take();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Epochs
+    // ------------------------------------------------------------------
+
+    /// Run `f` inside an epoch. Collective: every rank must call `epoch`
+    /// the same number of times. Returns only when every message sent by
+    /// any rank inside this epoch (transitively, including handler sends)
+    /// has been handled.
+    pub fn epoch<R>(&self, f: impl FnOnce(&AmCtx) -> R) -> R {
+        assert_eq!(self.thread, 0, "epochs are entered by rank main threads");
+        assert!(!self.in_epoch.get(), "epochs do not nest");
+        // The idle flag must drop *before* the entry barrier: termination
+        // detection treats `idle == true` as "this rank's epoch body has
+        // returned and it is only serving handlers". A stale `true` left
+        // over from the previous epoch would let a fast rank declare
+        // quiescence while this rank has not started sending yet — and
+        // this rank would then exit with its own messages still in flight.
+        self.shared.ranks[self.rank].idle.store(false, SeqCst);
+        self.barrier();
+        let my_gen = self.epochs_entered.get() + 1;
+        self.epochs_entered.set(my_gen);
+        self.in_epoch.set(true);
+        self.shared.epoch_active.fetch_add(1, SeqCst);
+
+        let result = f(self);
+
+        match self.shared.cfg.termination {
+            TerminationMode::SharedCounters => self.finish_epoch_counters(my_gen),
+            TerminationMode::FourCounterWave => self.finish_epoch_wave(my_gen),
+        }
+
+        self.shared.epoch_active.fetch_sub(1, SeqCst);
+        self.in_epoch.set(false);
+        MachineStats::bump(&self.shared.stats.epochs, 1);
+        // No rank proceeds (e.g. reads results, starts the next epoch)
+        // until all have observed termination.
+        self.barrier();
+        #[cfg(debug_assertions)]
+        {
+            let h = self.shared.total_handled();
+            let s = self.shared.total_sent();
+            debug_assert!(
+                self.shared.ranks[self.rank].rx.is_empty() && h == s,
+                "epoch {my_gen} on rank {} ended non-quiescent (handled={h}, sent={s})",
+                self.rank
+            );
+        }
+        result
+    }
+
+    /// The paper's `epoch_flush`: perform as much pending work as is
+    /// available right now — ship this thread's buffers, flush held layers,
+    /// and handle every message currently queued — then return control.
+    /// Only meaningful inside an epoch. Returns the number of envelopes
+    /// handled.
+    pub fn epoch_flush(&self) -> usize {
+        debug_assert!(self.in_epoch.get(), "epoch_flush is used inside an epoch");
+        let mut handled = 0;
+        loop {
+            self.flush_flushables();
+            self.flush_own_buffers();
+            let rx = &self.shared.ranks[self.rank].rx;
+            let mut any = false;
+            while let Ok(env) = rx.try_recv() {
+                self.handle_envelope(env);
+                handled += 1;
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+        handled
+    }
+
+    /// The paper's `try_finish`: attempt to end the current epoch from
+    /// within. Returns `true` when the epoch has terminated (no pending
+    /// actions anywhere); the caller should then fall out of its work loop.
+    /// Contract: call only when this rank has no deferred local work (e.g.
+    /// empty Δ-stepping buckets); see [`crate::termination`] for why.
+    pub fn try_finish(&self) -> bool {
+        debug_assert!(self.in_epoch.get(), "try_finish is used inside an epoch");
+        self.shared.check_poison();
+        let my_gen = self.epochs_entered.get();
+        if self.shared.completed_epoch.load(SeqCst) >= my_gen {
+            return true;
+        }
+        if self.drain_and_flush() {
+            return false; // made progress; may have produced local work
+        }
+        let me = &self.shared.ranks[self.rank];
+        me.idle.store(true, SeqCst);
+        // Double scan: flags, counters, flags, counters — all stable.
+        if !self.shared.all_idle() {
+            return false;
+        }
+        let h1 = self.shared.total_handled();
+        let s1 = self.shared.total_sent();
+        if h1 != s1 {
+            return false;
+        }
+        if !self.shared.all_idle() {
+            return false;
+        }
+        let h2 = self.shared.total_handled();
+        let s2 = self.shared.total_sent();
+        if h2 != s1 || s2 != s1 {
+            return false;
+        }
+        self.shared.completed_epoch.fetch_max(my_gen, SeqCst);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    pub(crate) fn handle_envelope(&self, env: Envelope) {
+        let handler = {
+            let handlers = self.shared.ranks[self.rank].handlers.read();
+            handlers
+                .get(env.type_id as usize)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "message of unregistered type {} arrived at rank {}",
+                        env.type_id, self.rank
+                    )
+                })
+                .clone()
+        };
+        handler(self, env.payload, env.count);
+    }
+
+    /// Ship all of this thread's non-empty coalescing buffers. Returns the
+    /// number of envelopes shipped.
+    pub(crate) fn flush_own_buffers(&self) -> usize {
+        // Note: handlers invoked later may refill buffers; callers loop.
+        let mut shipped = 0;
+        let mut bufs = self.bufs.borrow_mut();
+        for slot in bufs.iter_mut().flatten() {
+            shipped += slot.flush_all(&self.shared, self.rank);
+        }
+        shipped
+    }
+
+    fn flush_flushables(&self) -> usize {
+        let flushables: Vec<_> = self.shared.ranks[self.rank]
+            .flushables
+            .read()
+            .iter()
+            .cloned()
+            .collect();
+        let mut forwarded = 0;
+        for fl in flushables {
+            forwarded += fl.flush(self);
+        }
+        forwarded
+    }
+
+    /// Handle all queued messages and ship all held ones. Returns whether
+    /// any progress was made.
+    fn drain_and_flush(&self) -> bool {
+        let mut progress = false;
+        let rx = &self.shared.ranks[self.rank].rx;
+        while let Ok(env) = rx.try_recv() {
+            self.handle_envelope(env);
+            progress = true;
+        }
+        if self.flush_flushables() > 0 {
+            progress = true;
+        }
+        if self.flush_own_buffers() > 0 {
+            progress = true;
+        }
+        progress
+    }
+
+    /// Shared-counter termination detection (see [`crate::termination`]).
+    fn finish_epoch_counters(&self, my_gen: u64) {
+        let shared = &self.shared;
+        let me = &shared.ranks[self.rank];
+        loop {
+            shared.check_poison();
+            if self.drain_and_flush() {
+                continue;
+            }
+            me.idle.store(true, SeqCst);
+            if shared.completed_epoch.load(SeqCst) >= my_gen {
+                break;
+            }
+            if shared.all_idle() {
+                let h = shared.total_handled();
+                let s = shared.total_sent();
+                if h == s {
+                    shared.completed_epoch.fetch_max(my_gen, SeqCst);
+                    break;
+                }
+            }
+            // Block briefly; new work lowers our idle flag.
+            if let Ok(env) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+                me.idle.store(false, SeqCst);
+                self.handle_envelope(env);
+            }
+        }
+    }
+
+    /// Four-counter wave termination detection (see [`crate::termination`]).
+    fn finish_epoch_wave(&self, my_gen: u64) {
+        let shared = &self.shared;
+        let n = shared.cfg.ranks;
+        if n == 1 {
+            // A ring of one: the wave degenerates to the local counter check.
+            return self.finish_epoch_counters(my_gen);
+        }
+        let me = &shared.ranks[self.rank];
+        let mut held: Option<Token> = None;
+        let mut prev_wave: Option<(u64, u64)> = None;
+        let mut wave_no: u64 = 0;
+        let mut wave_in_flight = false;
+        loop {
+            shared.check_poison();
+            if self.drain_and_flush() {
+                continue;
+            }
+            // We are idle: participate in the control protocol.
+            let mut terminated = false;
+            while let Ok(tok) = me.ctl_rx.try_recv() {
+                match tok {
+                    Token::Terminate => terminated = true,
+                    wave @ Token::Wave { .. } => {
+                        debug_assert!(held.is_none(), "waves are sequential");
+                        held = Some(wave);
+                    }
+                }
+            }
+            if terminated {
+                shared.completed_epoch.fetch_max(my_gen, SeqCst);
+                break;
+            }
+            if let Some(Token::Wave {
+                wave,
+                sent,
+                handled,
+            }) = held.take()
+            {
+                MachineStats::bump(&shared.stats.control_tokens, 1);
+                if self.rank == 0 {
+                    // Wave returned with machine totals.
+                    let cur = (sent, handled);
+                    if sent == handled && prev_wave == Some(cur) {
+                        for r in 1..n {
+                            shared.ranks[r]
+                                .ctl_tx
+                                .send(Token::Terminate)
+                                .expect("control channels outlive epochs");
+                        }
+                        shared.completed_epoch.fetch_max(my_gen, SeqCst);
+                        break;
+                    }
+                    prev_wave = Some(cur);
+                    wave_in_flight = false;
+                } else {
+                    let tok = Token::Wave {
+                        wave,
+                        sent: sent + me.sent.load(SeqCst),
+                        handled: handled + me.handled.load(SeqCst),
+                    };
+                    shared.ranks[ring_next(self.rank, n)]
+                        .ctl_tx
+                        .send(tok)
+                        .expect("control channels outlive epochs");
+                }
+            }
+            if self.rank == 0 && !wave_in_flight {
+                wave_no += 1;
+                let tok = Token::Wave {
+                    wave: wave_no,
+                    sent: me.sent.load(SeqCst),
+                    handled: me.handled.load(SeqCst),
+                };
+                shared.ranks[ring_next(0, n)]
+                    .ctl_tx
+                    .send(tok)
+                    .expect("control channels outlive epochs");
+                wave_in_flight = true;
+            }
+            // Block briefly on the data channel.
+            if let Ok(env) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+                self.handle_envelope(env);
+            }
+        }
+        // Drain any stale control traffic for this epoch.
+        while me.ctl_rx.try_recv().is_ok() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn cfg(ranks: usize) -> MachineConfig {
+        MachineConfig::new(ranks)
+    }
+
+    #[test]
+    fn empty_epoch_terminates() {
+        let out = Machine::run(cfg(4), |ctx| {
+            ctx.epoch(|_| {});
+            ctx.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_message_is_handled_before_epoch_ends() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        Machine::run(cfg(2), move |ctx| {
+            let hits = h2.clone();
+            let mt = ctx.register(move |_ctx, x: u64| {
+                hits.fetch_add(x, SeqCst);
+            });
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    mt.send(ctx, 1, 41);
+                }
+            });
+            // Termination guarantees visibility.
+            assert_eq!(h2.load(SeqCst), 41);
+        });
+        assert_eq!(hits.load(SeqCst), 41);
+    }
+
+    #[test]
+    fn handlers_can_send_chains() {
+        // Each rank starts a chain that hops around the ring 100 times.
+        let hops = Arc::new(AtomicU64::new(0));
+        let h2 = hops.clone();
+        Machine::run(cfg(4), move |ctx| {
+            let hops = h2.clone();
+            let mt = ctx.register(move |ctx, left: u64| {
+                hops.fetch_add(1, SeqCst);
+                if left > 0 {
+                    let next = (ctx.rank() + 1) % ctx.num_ranks();
+                    ctx.send(next, left - 1);
+                }
+            });
+            ctx.epoch(|ctx| {
+                mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), 99u64);
+            });
+        });
+        assert_eq!(hops.load(SeqCst), 4 * 100);
+    }
+
+    #[test]
+    fn multiple_epochs_reuse_the_machine() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t2 = total.clone();
+        Machine::run(cfg(3), move |ctx| {
+            let total = t2.clone();
+            let mt = ctx.register(move |_ctx, x: u64| {
+                total.fetch_add(x, SeqCst);
+            });
+            for round in 0..10u64 {
+                ctx.epoch(|ctx| {
+                    for dest in 0..ctx.num_ranks() {
+                        mt.send(ctx, dest, round);
+                    }
+                });
+            }
+        });
+        // 3 ranks * 3 dests * sum(0..10)
+        assert_eq!(total.load(SeqCst), 9 * 45);
+    }
+
+    #[test]
+    fn four_counter_wave_terminates() {
+        let hops = Arc::new(AtomicU64::new(0));
+        let h2 = hops.clone();
+        Machine::run(
+            cfg(4).termination(TerminationMode::FourCounterWave),
+            move |ctx| {
+                let hops = h2.clone();
+                let mt = ctx.register(move |ctx, left: u64| {
+                    hops.fetch_add(1, SeqCst);
+                    if left > 0 {
+                        let next = (ctx.rank() + 7) % ctx.num_ranks();
+                        ctx.send(next, left - 1);
+                    }
+                });
+                ctx.epoch(|ctx| {
+                    mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), 50u64);
+                });
+            },
+        );
+        assert_eq!(hops.load(SeqCst), 4 * 51);
+    }
+
+    #[test]
+    fn multithreaded_ranks_handle_messages() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        Machine::run(cfg(2).threads_per_rank(4), move |ctx| {
+            let hits = h2.clone();
+            let mt = ctx.register(move |_ctx, _: u32| {
+                hits.fetch_add(1, SeqCst);
+            });
+            ctx.epoch(|ctx| {
+                for i in 0..1000u32 {
+                    mt.send(ctx, (i as usize) % ctx.num_ranks(), i);
+                }
+            });
+        });
+        assert_eq!(hits.load(SeqCst), 2000);
+    }
+
+    #[test]
+    fn coalescing_reduces_envelopes() {
+        let run = |cap: usize| {
+            let out = Machine::run(cfg(2).coalescing(cap), |ctx| {
+                let mt = ctx.register(|_ctx, _: u32| {});
+                ctx.epoch(|ctx| {
+                    if ctx.rank() == 0 {
+                        for i in 0..256u32 {
+                            mt.send(ctx, 1, i);
+                        }
+                    }
+                });
+                ctx.stats().envelopes_sent
+            });
+            out[0]
+        };
+        let coarse = run(64);
+        let fine = run(1);
+        assert!(coarse <= 256 / 64 + 2, "coarse={coarse}");
+        assert!(fine >= 256, "fine={fine}");
+    }
+
+    #[test]
+    fn epoch_flush_performs_available_work() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        Machine::run(cfg(1), move |ctx| {
+            let seen = s2.clone();
+            let mt = ctx.register(move |_ctx, x: u64| {
+                seen.fetch_add(x, SeqCst);
+            });
+            ctx.epoch(|ctx| {
+                mt.send(ctx, 0, 5);
+                ctx.epoch_flush();
+                // Single rank: after the flush the handler must have run.
+                assert_eq!(s2.load(SeqCst), 5);
+            });
+        });
+        assert_eq!(seen.load(SeqCst), 5);
+    }
+
+    #[test]
+    fn try_finish_ends_quiet_epoch() {
+        let out = Machine::run(cfg(4), |ctx| {
+            let mt = ctx.register(|_ctx, _: u8| {});
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for d in 0..ctx.num_ranks() {
+                        mt.send(ctx, d, 1);
+                    }
+                }
+                let mut spins = 0u64;
+                while !ctx.try_finish() {
+                    spins += 1;
+                }
+                spins
+            })
+        });
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn messages_to_self_work() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        Machine::run(cfg(1), move |ctx| {
+            let hits = h2.clone();
+            let mt = ctx.register(move |_ctx, _: u8| {
+                hits.fetch_add(1, SeqCst);
+            });
+            ctx.epoch(|ctx| {
+                for _ in 0..100 {
+                    mt.send(ctx, 0, 0);
+                }
+            });
+        });
+        assert_eq!(hits.load(SeqCst), 100);
+    }
+
+    #[test]
+    fn results_returned_in_rank_order() {
+        let out = Machine::run(cfg(6), |ctx| ctx.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not nest")]
+    fn nested_epochs_panic() {
+        Machine::run(cfg(1), |ctx| {
+            ctx.epoch(|ctx| {
+                ctx.epoch(|_| {});
+            });
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let out = Machine::run(cfg(2), |ctx| {
+            let mt = ctx.register(|_ctx, _: u32| {});
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for i in 0..10u32 {
+                        mt.send(ctx, 1, i);
+                    }
+                }
+            });
+            ctx.stats()
+        });
+        assert_eq!(out[0].messages_sent, 10);
+        assert_eq!(out[0].messages_handled, 10);
+        assert_eq!(out[0].epochs, 2);
+    }
+
+    #[test]
+    fn two_message_types_dispatch_correctly() {
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        let (a2, b2) = (a.clone(), b.clone());
+        Machine::run(cfg(2), move |ctx| {
+            let a = a2.clone();
+            let b = b2.clone();
+            let ta = ctx.register(move |_ctx, x: u64| {
+                a.fetch_add(x, SeqCst);
+            });
+            let tb = ctx.register(move |_ctx, x: u32| {
+                b.fetch_add(x as u64, SeqCst);
+            });
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    ta.send(ctx, 1, 100u64);
+                    tb.send(ctx, 1, 1u32);
+                }
+            });
+        });
+        assert_eq!(a.load(SeqCst), 100);
+        assert_eq!(b.load(SeqCst), 1);
+    }
+}
+
+#[cfg(test)]
+mod type_stats_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn per_type_counters_track_both_sides() {
+        let out = Machine::run(MachineConfig::new(2), |ctx| {
+            let ping = ctx.register_named("ping", |_ctx, _x: u32| {});
+            let pong = ctx.register_named("pong", |_ctx, _x: u64| {});
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for i in 0..7u32 {
+                        ping.send(ctx, 1, i);
+                    }
+                    pong.send(ctx, 1, 1u64);
+                }
+            });
+            ctx.type_stats()
+        });
+        let stats = &out[0];
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].name.as_str(), stats[0].sent, stats[0].handled), ("ping", 7, 7));
+        assert_eq!((stats[1].name.as_str(), stats[1].sent, stats[1].handled), ("pong", 1, 1));
+    }
+
+    #[test]
+    fn default_names_use_type_name() {
+        let out = Machine::run(MachineConfig::new(1), |ctx| {
+            let mt = ctx.register(|_ctx, _x: (u64, f64)| {});
+            ctx.epoch(|ctx| mt.send(ctx, 0, (1, 2.0)));
+            ctx.type_stats()
+        });
+        assert!(out[0][0].name.contains("u64"), "{:?}", out[0][0].name);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn trace_records_envelopes_with_sources() {
+        let out = Machine::run(MachineConfig::new(2).trace(64).coalescing(4), |ctx| {
+            let mt = ctx.register_named("flow", |_ctx, _x: u32| {});
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for i in 0..10u32 {
+                        mt.send(ctx, 1, i);
+                    }
+                }
+            });
+            ctx.trace()
+        });
+        let trace = &out[0];
+        assert!(!trace.is_empty());
+        let total: u32 = trace.iter().map(|e| e.count).sum();
+        assert_eq!(total, 10);
+        assert!(trace.iter().all(|e| e.from == 0 && e.to == 1 && e.type_id == 0));
+    }
+
+    #[test]
+    fn trace_ring_caps_and_disabled_is_empty() {
+        let out = Machine::run(MachineConfig::new(1).trace(3).coalescing(1), |ctx| {
+            let mt = ctx.register(|_ctx, _x: u8| {});
+            ctx.epoch(|ctx| {
+                for _ in 0..10 {
+                    mt.send(ctx, 0, 1);
+                }
+            });
+            ctx.trace().len()
+        });
+        assert_eq!(out[0], 3, "ring keeps only the newest events");
+
+        let out = Machine::run(MachineConfig::new(1), |ctx| {
+            let mt = ctx.register(|_ctx, _x: u8| {});
+            ctx.epoch(|ctx| mt.send(ctx, 0, 1));
+            ctx.trace().len()
+        });
+        assert_eq!(out[0], 0, "tracing off by default");
+    }
+}

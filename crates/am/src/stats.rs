@@ -1,0 +1,171 @@
+//! Machine-wide message statistics.
+//!
+//! The paper's evaluation unit is the *message* (its Figs. 5–6 count
+//! messages, and the AM++ layers — coalescing, caching, reductions — are all
+//! message-count optimizations), so the runtime keeps precise counters that
+//! the experiment harness reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, updated by the runtime and the optional message layers.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// Logical messages accepted for sending (after caching/reduction
+    /// layers, i.e. messages that actually entered a coalescing buffer).
+    pub messages_sent: AtomicU64,
+    /// Envelopes (coalesced batches) pushed to destination inboxes.
+    pub envelopes_sent: AtomicU64,
+    /// Logical messages whose handler ran to completion.
+    pub messages_handled: AtomicU64,
+    /// Messages dropped by a [`crate::caching::CachingSender`] because an
+    /// identical message to the same destination was recently sent.
+    pub cache_hits: AtomicU64,
+    /// Messages that passed through a caching layer without being dropped.
+    pub cache_misses: AtomicU64,
+    /// Messages absorbed by a [`crate::reduction::ReducingSender`] combine.
+    pub reduction_combines: AtomicU64,
+    /// Messages forwarded out of a reduction layer.
+    pub reduction_forwards: AtomicU64,
+    /// Completed epochs.
+    pub epochs: AtomicU64,
+    /// Termination-detection control tokens circulated (four-counter mode).
+    pub control_tokens: AtomicU64,
+}
+
+impl MachineStats {
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough point-in-time copy (exact when quiescent,
+    /// e.g. outside epochs).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::SeqCst),
+            envelopes_sent: self.envelopes_sent.load(Ordering::SeqCst),
+            messages_handled: self.messages_handled.load(Ordering::SeqCst),
+            cache_hits: self.cache_hits.load(Ordering::SeqCst),
+            cache_misses: self.cache_misses.load(Ordering::SeqCst),
+            reduction_combines: self.reduction_combines.load(Ordering::SeqCst),
+            reduction_forwards: self.reduction_forwards.load(Ordering::SeqCst),
+            epochs: self.epochs.load(Ordering::SeqCst),
+            control_tokens: self.control_tokens.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Machine-wide counters for one registered message type (shared by the
+/// sending and handling sides across all ranks).
+#[derive(Debug)]
+pub struct TypeStat {
+    /// Diagnostic name given at registration.
+    pub name: String,
+    /// Messages of this type accepted for sending.
+    pub sent: AtomicU64,
+    /// Messages of this type whose handler completed.
+    pub handled: AtomicU64,
+}
+
+impl TypeStat {
+    pub(crate) fn new(name: String) -> Self {
+        TypeStat {
+            name,
+            sent: AtomicU64::new(0),
+            handled: AtomicU64::new(0),
+        }
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> TypeStatSnapshot {
+        TypeStatSnapshot {
+            name: self.name.clone(),
+            sent: self.sent.load(Ordering::SeqCst),
+            handled: self.handled.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A point-in-time copy of [`TypeStat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeStatSnapshot {
+    /// Diagnostic name given at registration.
+    pub name: String,
+    /// Messages of this type accepted for sending.
+    pub sent: u64,
+    /// Messages of this type whose handler completed.
+    pub handled: u64,
+}
+
+/// A point-in-time copy of [`MachineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Logical messages accepted for sending.
+    pub messages_sent: u64,
+    /// Envelopes (coalesced batches) delivered to inboxes.
+    pub envelopes_sent: u64,
+    /// Logical messages whose handler ran to completion.
+    pub messages_handled: u64,
+    /// Messages dropped by caching layers as duplicates.
+    pub cache_hits: u64,
+    /// Messages that passed caching layers unharmed.
+    pub cache_misses: u64,
+    /// Messages absorbed by reduction-layer combines.
+    pub reduction_combines: u64,
+    /// Messages forwarded out of reduction layers.
+    pub reduction_forwards: u64,
+    /// Completed epochs.
+    pub epochs: u64,
+    /// Termination-detection control tokens circulated.
+    pub control_tokens: u64,
+}
+
+impl StatsSnapshot {
+    /// Messages per envelope actually achieved by coalescing (0 if nothing
+    /// was sent).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.envelopes_sent == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.envelopes_sent as f64
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`), for measuring one phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            envelopes_sent: self.envelopes_sent - earlier.envelopes_sent,
+            messages_handled: self.messages_handled - earlier.messages_handled,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            reduction_combines: self.reduction_combines - earlier.reduction_combines,
+            reduction_forwards: self.reduction_forwards - earlier.reduction_forwards,
+            epochs: self.epochs - earlier.epochs,
+            control_tokens: self.control_tokens - earlier.control_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_since() {
+        let s = MachineStats::default();
+        MachineStats::bump(&s.messages_sent, 10);
+        MachineStats::bump(&s.envelopes_sent, 2);
+        let a = s.snapshot();
+        MachineStats::bump(&s.messages_sent, 5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.messages_sent, 5);
+        assert_eq!(d.envelopes_sent, 0);
+        assert_eq!(a.coalescing_factor(), 5.0);
+    }
+
+    #[test]
+    fn empty_coalescing_factor_is_zero() {
+        assert_eq!(StatsSnapshot::default().coalescing_factor(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Termination detection for epochs.
+//!
+//! The defining feature of an AM++ epoch — and the reason the paper can
+//! offer `epoch` as the coarse-grained synchronization construct for its
+//! fine-grained patterns — is *termination detection*: an epoch ends only
+//! once every message sent inside it, transitively including messages sent
+//! by handlers, has been handled on every rank.
+//!
+//! Two algorithms are provided (selected by
+//! [`crate::config::TerminationMode`], compared in experiment E6):
+//!
+//! ## Shared counters (fast path)
+//!
+//! Every rank keeps monotone counters of messages *sent* (incremented when a
+//! message enters a coalescing buffer) and *handled* (incremented after the
+//! handler returns). A rank that has drained its inbox and flushed its
+//! buffers marks itself idle. Termination holds when **all ranks are idle
+//! and the global totals satisfy `handled == sent`**, with `handled` summed
+//! *before* `sent`:
+//!
+//! * `handled ≤ sent` is invariant (a message is counted sent before it can
+//!   be received), and both are monotone;
+//! * reading `handled` first gives `h ≤ handled(t) ≤ sent(t) ≤ s` for the
+//!   instant `t` between the two sums, so `h == s` forces
+//!   `handled(t) == sent(t)`: nothing queued, buffered, or running at `t`;
+//! * idle flags are only raised from inside the detection loop, so all-idle
+//!   means every rank's epoch body has returned — no source of new messages
+//!   remains, making the condition stable.
+//!
+//! ## Four-counter waves (faithful distributed algorithm)
+//!
+//! No cross-rank memory is read; rank 0 circulates a token along the ring of
+//! control channels. Each idle rank adds its local `(sent, handled)` to the
+//! token and forwards it. When a wave returns, rank 0 compares it with the
+//! previous wave and terminates when **two consecutive waves report the same
+//! totals with `sent == handled`** (Mattern's four-counter condition): wave
+//! *w−1* finishes before wave *w* starts, so per-rank equality of the two
+//! waves means every rank was quiet over an interval containing the instant
+//! between the waves — global quiescence at that instant. Rank 0 then sends
+//! a `Terminate` token to every rank.
+//!
+//! ## Deferred local work and `try_finish`
+//!
+//! Work hooks may defer work into strategy-local structures (Δ-stepping
+//! buckets). Such work is invisible to message counters *by design*: a
+//! plain `epoch` ends when messages quiesce, and the strategy re-tests its
+//! bucket afterwards (exactly the paper's description of the `delta`
+//! strategy). For strategies that instead want to end an epoch from within
+//! ([`crate::AmCtx::try_finish`]), the contract is: call only when the
+//! calling rank has no deferred local work. `try_finish` then performs a
+//! *double scan* — flags, counters, flags, counters must all be stable —
+//! and every handler lowers its rank's idle flag when it starts, so a
+//! handler that deposited local work after a rank last declared itself idle
+//! is always caught by one of the two scans.
+
+use crate::machine::RankId;
+
+/// Control tokens exchanged on the per-rank control channels in
+/// [`crate::config::TerminationMode::FourCounterWave`] mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// A counting wave: accumulates `(sent, handled)` around the ring.
+    Wave { wave: u64, sent: u64, handled: u64 },
+    /// Rank 0 observed two stable balanced waves: the epoch is over.
+    Terminate,
+}
+
+/// Ring successor of `rank`.
+pub(crate) fn ring_next(rank: RankId, ranks: usize) -> RankId {
+    (rank + 1) % ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps() {
+        assert_eq!(ring_next(0, 4), 1);
+        assert_eq!(ring_next(3, 4), 0);
+        assert_eq!(ring_next(0, 1), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Criterion benches for E5/E6/E7: synchronization schemes, termination
+//! detection, and abstraction overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dgp_algorithms::{seq, SsspStrategy};
+use dgp_am::{MachineConfig, TerminationMode};
+use dgp_bench::{measure, workloads};
+use dgp_core::engine::{EngineConfig, SyncMode};
+use dgp_graph::properties::LockGranularity;
+
+/// E5: atomic vs lock-map synchronization under handler concurrency.
+fn bench_sync_modes(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 8, 51);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("ablation/sync");
+    g.sample_size(10);
+    let configs: Vec<(&str, EngineConfig)> = vec![
+        ("atomic", EngineConfig { sync: SyncMode::Atomic, ..Default::default() }),
+        (
+            "lock_per_vertex",
+            EngineConfig {
+                sync: SyncMode::LockMap,
+                lock_granularity: LockGranularity::PerVertex,
+                ..Default::default()
+            },
+        ),
+        (
+            "lock_block64",
+            EngineConfig {
+                sync: SyncMode::LockMap,
+                lock_granularity: LockGranularity::Block(64),
+                ..Default::default()
+            },
+        ),
+        (
+            "lock_striped16",
+            EngineConfig {
+                sync: SyncMode::LockMap,
+                lock_granularity: LockGranularity::Striped(16),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, cfg) in configs {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let m = measure::sssp_pattern(
+                    label,
+                    &el,
+                    MachineConfig::new(2).threads_per_rank(4),
+                    cfg,
+                    0,
+                    SsspStrategy::Delta(0.4),
+                    &oracle,
+                );
+                assert!(m.correct);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E6: termination-detection algorithms under an epoch-heavy schedule.
+fn bench_termination(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(10, 8, 61);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("ablation/termination");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("shared_counters", TerminationMode::SharedCounters),
+        ("four_counter_waves", TerminationMode::FourCounterWave),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let m = measure::sssp_pattern(
+                    label,
+                    &el,
+                    MachineConfig::new(4).termination(mode),
+                    EngineConfig::default(),
+                    0,
+                    SsspStrategy::Delta(0.2),
+                    &oracle,
+                );
+                assert!(m.correct);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E7: pattern engine vs hand-written vs sequential.
+fn bench_abstraction(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 8, 71);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("ablation/abstraction");
+    g.sample_size(10);
+    g.bench_function("pattern_engine", |b| {
+        b.iter(|| {
+            let m = measure::sssp_pattern(
+                "p",
+                &el,
+                MachineConfig::new(4),
+                EngineConfig::default(),
+                0,
+                SsspStrategy::Delta(0.4),
+                &oracle,
+            );
+            assert!(m.correct);
+        });
+    });
+    g.bench_function("pattern_engine_inline_local", |b| {
+        b.iter(|| {
+            let m = measure::sssp_pattern(
+                "pi",
+                &el,
+                MachineConfig::new(4),
+                EngineConfig {
+                    self_send: false,
+                    ..Default::default()
+                },
+                0,
+                SsspStrategy::Delta(0.4),
+                &oracle,
+            );
+            assert!(m.correct);
+        });
+    });
+    g.bench_function("handwritten_am", |b| {
+        b.iter(|| {
+            let m = measure::sssp_handwritten("h", &el, MachineConfig::new(4), 0, None, &oracle);
+            assert!(m.correct);
+        });
+    });
+    g.bench_function("sequential_dijkstra", |b| {
+        b.iter(|| seq::dijkstra(&el, 0));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_modes, bench_termination, bench_abstraction);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for E1/E2/E3: the AM++ message layers (coalescing,
+//! caching, reduction), measured both as microbenchmarks and inside real
+//! algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dgp_algorithms::{handwritten, seq, SsspStrategy};
+use dgp_am::{Machine, MachineConfig};
+use dgp_bench::{measure, workloads};
+use dgp_core::engine::EngineConfig;
+use dgp_graph::properties::EdgeMap;
+use dgp_graph::{DistGraph, Distribution};
+
+/// E1: coalescing capacity sweep over pattern SSSP.
+fn bench_coalescing(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 8, 21);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("am/coalescing");
+    g.sample_size(10);
+    for cap in [1usize, 16, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let m = measure::sssp_pattern(
+                    "sssp",
+                    &el,
+                    MachineConfig::new(4).coalescing(cap),
+                    EngineConfig::default(),
+                    0,
+                    SsspStrategy::Delta(0.4),
+                    &oracle,
+                );
+                assert!(m.correct);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E2: caching on/off over hand-written BFS.
+fn bench_caching(c: &mut Criterion) {
+    let el = workloads::rmat(12, 16, 31);
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 4), false);
+    let mut g = c.benchmark_group("am/caching");
+    g.sample_size(10);
+    for (label, slots) in [("off", None), ("4096", Some(4096usize))] {
+        let graph = graph.clone();
+        g.bench_function(label, move |b| {
+            let graph = graph.clone();
+            b.iter(|| {
+                let graph = graph.clone();
+                Machine::run(MachineConfig::new(4), move |ctx| {
+                    match slots {
+                        None => handwritten::bfs(ctx, &graph, 0),
+                        Some(s) => handwritten::bfs_cached(ctx, &graph, 0, s),
+                    };
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E3: reduction on/off over hand-written SSSP.
+fn bench_reduction(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 16, 41);
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 4), false);
+    let weights = EdgeMap::from_weights(&graph, &el);
+    let mut g = c.benchmark_group("am/reduction");
+    g.sample_size(10);
+    for (label, slots) in [("off", None), ("4096", Some(4096usize))] {
+        let graph = graph.clone();
+        let weights = weights.clone();
+        g.bench_function(label, move |b| {
+            let graph = graph.clone();
+            let weights = weights.clone();
+            b.iter(|| {
+                let graph = graph.clone();
+                let weights = weights.clone();
+                Machine::run(MachineConfig::new(4), move |ctx| {
+                    match slots {
+                        None => handwritten::sssp(ctx, &graph, &weights, 0),
+                        Some(s) => handwritten::sssp_reduced(ctx, &graph, &weights, 0, s),
+                    };
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_coalescing, bench_caching, bench_reduction);
+criterion_main!(benches);

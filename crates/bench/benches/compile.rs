@@ -1,0 +1,63 @@
+//! Planner microbenchmarks: how fast patterns compile to message
+//! programs (the cost the paper's proposed automatic translator adds at
+//! registration time — it runs once per action, so micro- rather than
+//! milliseconds matter only for enormous pattern libraries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dgp_algorithms::patterns;
+use dgp_core::ir::{ActionIr, ConditionIr, ModificationIr, Place, ReadRef, Slot};
+use dgp_core::plan::{compile, PlanMode};
+
+fn fig5_ir() -> ActionIr {
+    let (a, b, c, d, e, f, val, val2) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+    let n1 = Place::map_at(a, Place::Input);
+    let n2 = Place::map_at(b, n1.clone());
+    let n3 = Place::map_at(c, Place::Input);
+    let n4 = Place::map_at(d, n3.clone());
+    let u = Place::map_at(e, n4.clone());
+    let n5 = Place::map_at(f, u.clone());
+    ActionIr {
+        name: "fig5".into(),
+        generator: dgp_core::ir::GeneratorIr::None,
+        slots: vec![
+            ReadRef::VertexProp { map: a, at: Place::Input },
+            ReadRef::VertexProp { map: b, at: n1 },
+            ReadRef::VertexProp { map: val2, at: n2 },
+            ReadRef::VertexProp { map: c, at: Place::Input },
+            ReadRef::VertexProp { map: d, at: n3 },
+            ReadRef::VertexProp { map: e, at: n4 },
+            ReadRef::VertexProp { map: f, at: u },
+            ReadRef::VertexProp { map: val, at: n5.clone() },
+        ],
+        conditions: vec![ConditionIr {
+            reads: (0..8).map(Slot).collect(),
+            mods: vec![ModificationIr {
+                map: val,
+                at: n5,
+                reads: vec![Slot(1)],
+            }],
+            is_else: false,
+        }],
+    }
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let relax = patterns::relax(0, 1);
+    let search = patterns::cc_search(0, 1);
+    let fig5 = fig5_ir();
+    let mut g = c.benchmark_group("plan/compile");
+    g.bench_function("sssp_relax", |b| {
+        b.iter(|| compile(&relax.ir, PlanMode::Optimized).unwrap());
+    });
+    g.bench_function("cc_search_two_conditions", |b| {
+        b.iter(|| compile(&search.ir, PlanMode::Optimized).unwrap());
+    });
+    g.bench_function("fig5_deep_tree_faithful", |b| {
+        b.iter(|| compile(&fig5, PlanMode::Faithful).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for E8/E9: problem-size and rank scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dgp_algorithms::seq;
+use dgp_algorithms::SsspStrategy;
+use dgp_am::{Machine, MachineConfig};
+use dgp_bench::{measure, workloads};
+use dgp_core::engine::EngineConfig;
+use dgp_graph::{DistGraph, Distribution};
+
+/// E8: BFS throughput across graph scales (edges/second).
+fn bench_scale_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/rmat_bfs");
+    g.sample_size(10);
+    for scale in [10u32, 12, 14] {
+        let el = workloads::rmat(scale, 16, 81);
+        let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 4), false);
+        g.throughput(Throughput::Elements(el.num_edges() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &graph, |b, graph| {
+            b.iter(|| {
+                let graph = graph.clone();
+                Machine::run(MachineConfig::new(4), move |ctx| {
+                    dgp_algorithms::bfs::bfs(ctx, &graph, 0);
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E9: strong scaling over rank counts.
+fn bench_rank_sweep(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(12, 8, 91);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("scaling/ranks_sssp");
+    g.sample_size(10);
+    for ranks in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                let m = measure::sssp_pattern(
+                    "s",
+                    &el,
+                    MachineConfig::new(ranks),
+                    EngineConfig::default(),
+                    0,
+                    SsspStrategy::Delta(0.4),
+                    &oracle,
+                );
+                assert!(m.correct);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale_sweep, bench_rank_sweep);
+criterion_main!(benches);

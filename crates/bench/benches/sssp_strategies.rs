@@ -1,0 +1,53 @@
+//! Criterion benches for F1/E4/E10: one relax pattern under the paper's
+//! strategies, on the two workload shapes that separate them (skewed RMAT
+//! vs long-diameter grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dgp_algorithms::{seq, SsspStrategy};
+use dgp_am::MachineConfig;
+use dgp_bench::{measure, workloads};
+use dgp_core::engine::EngineConfig;
+
+fn bench_strategies(c: &mut Criterion) {
+    let rmat = workloads::rmat_weighted(11, 8, 11);
+    let grid = workloads::grid_weighted(40, 5);
+    for (wname, el) in [("rmat11", &rmat), ("grid40", &grid)] {
+        let oracle = seq::dijkstra(el, 0);
+        let mut g = c.benchmark_group(format!("sssp/{wname}"));
+        g.sample_size(10);
+        for (label, strategy) in [
+            ("fixed_point", SsspStrategy::FixedPoint),
+            ("delta_0.4", SsspStrategy::Delta(0.4)),
+            ("delta_4", SsspStrategy::Delta(4.0)),
+            ("delta_async_0.4", SsspStrategy::DeltaAsync(0.4)),
+        ] {
+            g.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &s| {
+                b.iter(|| {
+                    let m = measure::sssp_pattern(
+                        label,
+                        el,
+                        MachineConfig::new(4),
+                        EngineConfig::default(),
+                        0,
+                        s,
+                        &oracle,
+                    );
+                    assert!(m.correct);
+                    m.relaxations
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_sequential_baseline(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 8, 11);
+    c.bench_function("sssp/rmat11/sequential_dijkstra", |b| {
+        b.iter(|| seq::dijkstra(&el, 0));
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_sequential_baseline);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Instrumented end-to-end runs: build the distributed graph, run the
+//! algorithm on a simulated machine, collect timing + engine + runtime
+//! counters, and validate against the sequential oracle.
+
+use std::time::Instant;
+
+use dgp_algorithms::{handwritten, seq, sssp::Sssp, SsspStrategy};
+use dgp_am::{Machine, MachineConfig};
+use dgp_core::engine::EngineConfig;
+use dgp_graph::properties::EdgeMap;
+use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
+
+/// One measured SSSP (or BFS-like) run.
+#[derive(Debug, Clone)]
+pub struct SsspMeasurement {
+    /// Row label.
+    pub label: String,
+    /// Wall-clock milliseconds, machine spawn included.
+    pub millis: f64,
+    /// Successful relaxations (condition fired).
+    pub relaxations: u64,
+    /// Relaxation attempts (edges examined).
+    pub attempts: u64,
+    /// Logical messages sent.
+    pub messages: u64,
+    /// Coalesced envelopes delivered.
+    pub envelopes: u64,
+    /// Epochs run.
+    pub epochs: u64,
+    /// Whether the result matched the oracle.
+    pub correct: bool,
+}
+
+fn dists_match(got: &[f64], want: &[f64]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()))
+}
+
+/// Run pattern-engine SSSP and measure.
+#[allow(clippy::too_many_arguments)]
+pub fn sssp_pattern(
+    label: &str,
+    el: &EdgeList,
+    machine: MachineConfig,
+    engine_cfg: EngineConfig,
+    source: VertexId,
+    strategy: SsspStrategy,
+    oracle: &[f64],
+) -> SsspMeasurement {
+    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let t0 = Instant::now();
+    let mut out = Machine::run(machine, move |ctx| {
+        let s = Sssp::install(ctx, &graph, &weights, engine_cfg);
+        s.run(ctx, source, strategy);
+        let es = s.engine.stats();
+        let relaxations = ctx.sum_ranks(es.conditions_true);
+        let attempts = ctx.sum_ranks(es.items_generated);
+        (ctx.rank() == 0).then(|| (s.dist.snapshot(), relaxations, attempts, ctx.stats()))
+    });
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let (dist, relaxations, attempts, am) = out[0].take().unwrap();
+    SsspMeasurement {
+        label: label.to_string(),
+        millis,
+        relaxations,
+        attempts,
+        messages: am.messages_sent,
+        envelopes: am.envelopes_sent,
+        epochs: am.epochs,
+        correct: dists_match(&dist, oracle),
+    }
+}
+
+/// Run hand-written AM SSSP (plain or reduced) and measure.
+pub fn sssp_handwritten(
+    label: &str,
+    el: &EdgeList,
+    machine: MachineConfig,
+    source: VertexId,
+    reduction_slots: Option<usize>,
+    oracle: &[f64],
+) -> SsspMeasurement {
+    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let t0 = Instant::now();
+    let mut out = Machine::run(machine, move |ctx| {
+        let d = match reduction_slots {
+            None => handwritten::sssp(ctx, &graph, &weights, source),
+            Some(slots) => handwritten::sssp_reduced(ctx, &graph, &weights, source, slots),
+        };
+        (ctx.rank() == 0).then(|| (d.snapshot(), ctx.stats()))
+    });
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let (dist, am) = out[0].take().unwrap();
+    SsspMeasurement {
+        label: label.to_string(),
+        millis,
+        relaxations: 0,
+        attempts: 0,
+        messages: am.messages_sent,
+        envelopes: am.envelopes_sent,
+        epochs: am.epochs,
+        correct: dists_match(&dist, oracle),
+    }
+}
+
+/// Sequential Dijkstra measured the same way (the single-node baseline).
+pub fn sssp_sequential(el: &EdgeList, source: VertexId) -> SsspMeasurement {
+    let t0 = Instant::now();
+    let dist = seq::dijkstra(el, source);
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    SsspMeasurement {
+        label: "sequential Dijkstra".into(),
+        millis,
+        relaxations: 0,
+        attempts: 0,
+        messages: 0,
+        envelopes: 0,
+        epochs: 0,
+        correct: !dist.is_empty(),
+    }
+}
+
+/// One measured CC run.
+#[derive(Debug, Clone)]
+pub struct CcMeasurement {
+    /// Row label.
+    pub label: String,
+    /// Wall-clock milliseconds, machine spawn included.
+    pub millis: f64,
+    /// Logical messages sent.
+    pub messages: u64,
+    /// Number of distinct labels found.
+    pub components: usize,
+    /// Whether the labels matched union-find.
+    pub correct: bool,
+}
+
+/// Run pattern-engine parallel-search CC and measure.
+pub fn cc_pattern(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasurement {
+    let want = seq::cc_labels(el);
+    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let t0 = Instant::now();
+    let mut out = Machine::run(machine, move |ctx| {
+        let labels = dgp_algorithms::cc::cc(ctx, &graph);
+        (ctx.rank() == 0).then(|| (labels.snapshot(), ctx.stats()))
+    });
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let (labels, am) = out[0].take().unwrap();
+    finish_cc(label, millis, am.messages_sent, labels, &want)
+}
+
+/// Run hand-written label-propagation CC and measure.
+pub fn cc_label_prop(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasurement {
+    let want = seq::cc_labels(el);
+    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let t0 = Instant::now();
+    let mut out = Machine::run(machine, move |ctx| {
+        let labels = handwritten::cc_label_propagation(ctx, &graph);
+        (ctx.rank() == 0).then(|| (labels.snapshot(), ctx.stats()))
+    });
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let (labels, am) = out[0].take().unwrap();
+    finish_cc(label, millis, am.messages_sent, labels, &want)
+}
+
+/// Sequential union-find CC, measured.
+pub fn cc_sequential(el: &EdgeList) -> CcMeasurement {
+    let t0 = Instant::now();
+    let labels = seq::cc_labels(el);
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let mut uniq: Vec<u64> = labels.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    CcMeasurement {
+        label: "sequential union-find".into(),
+        millis,
+        messages: 0,
+        components: uniq.len(),
+        correct: true,
+    }
+}
+
+fn finish_cc(
+    label: &str,
+    millis: f64,
+    messages: u64,
+    labels: Vec<u64>,
+    want: &[u64],
+) -> CcMeasurement {
+    let mut uniq = labels.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    CcMeasurement {
+        label: label.to_string(),
+        millis,
+        messages,
+        components: uniq.len(),
+        correct: labels == want,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn sssp_measurement_is_correct_and_counted() {
+        let el = workloads::rmat_weighted(7, 8, 1);
+        let oracle = seq::dijkstra(&el, 0);
+        let m = sssp_pattern(
+            "fp",
+            &el,
+            MachineConfig::new(2),
+            EngineConfig::default(),
+            0,
+            SsspStrategy::FixedPoint,
+            &oracle,
+        );
+        assert!(m.correct);
+        assert!(m.messages > 0);
+        assert!(m.relaxations > 0);
+        assert!(m.relaxations <= m.attempts);
+    }
+
+    #[test]
+    fn cc_measurements_agree() {
+        let el = workloads::blobs(4, 25, 3);
+        let a = cc_pattern("ps", &el, MachineConfig::new(2));
+        let b = cc_label_prop("lp", &el, MachineConfig::new(2));
+        let c = cc_sequential(&el);
+        assert!(a.correct && b.correct);
+        assert_eq!(a.components, 4);
+        assert_eq!(b.components, 4);
+        assert_eq!(c.components, 4);
+    }
+}

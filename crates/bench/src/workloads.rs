@@ -1,0 +1,50 @@
+//! Standard workloads for the experiment suite.
+
+use dgp_graph::{generators, EdgeList};
+
+/// Directed, weighted RMAT (Graph500 parameters) — the paper's motivating
+/// "social network / data mining" shape.
+pub fn rmat_weighted(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    let mut el = generators::rmat(scale, edge_factor, generators::RmatParams::GRAPH500, seed);
+    el.randomize_weights(0.05, 1.0, seed + 1);
+    el
+}
+
+/// Unweighted RMAT.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    generators::rmat(scale, edge_factor, generators::RmatParams::GRAPH500, seed)
+}
+
+/// Weighted square grid — the long-diameter "road network" shape that
+/// separates Δ-stepping from chaotic relaxation.
+pub fn grid_weighted(side: u64, seed: u64) -> EdgeList {
+    let mut el = generators::grid2d(side, side);
+    el.randomize_weights(0.2, 2.0, seed);
+    el
+}
+
+/// Undirected multi-component blob graph — the CC workload.
+pub fn blobs(k: u64, size: u64, seed: u64) -> EdgeList {
+    generators::component_blobs(k, size, 2, seed)
+}
+
+/// Weighted Erdős–Rényi.
+pub fn er_weighted(n: u64, m: usize, seed: u64) -> EdgeList {
+    let mut el = generators::erdos_renyi(n, m, seed);
+    el.randomize_weights(0.05, 1.0, seed + 1);
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        assert_eq!(rmat_weighted(6, 4, 1).num_vertices(), 64);
+        assert!(rmat_weighted(6, 4, 1).weights.is_some());
+        assert_eq!(grid_weighted(5, 1).num_vertices(), 25);
+        assert_eq!(blobs(3, 10, 1).num_vertices(), 30);
+        assert_eq!(er_weighted(10, 30, 1).num_edges(), 30);
+    }
+}

@@ -1,0 +1,269 @@
+//! The value dependency graph (Definition 2) and its gather traversals.
+//!
+//! "The dependency graph stores dependencies between values. A directed
+//! edge (v1, v2) is added to the graph between the values v1 and v2 if v1
+//! is the locality of v2." Because every place's identity becomes known at
+//! exactly one other place ([`Place::known_at`]), the graph restricted to
+//! the localities an action needs is a **tree rooted at the input vertex**,
+//! and gathering is a depth-first walk of it (§IV-A):
+//!
+//! 1. find the required localities from the property accesses;
+//! 2. prune the tree of edges not on a path to a required locality
+//!    (construction here only ever *adds* such paths);
+//! 3. construct gather messages by walking the pruned tree depth-first,
+//!    every jump between localities being one message;
+//! 4. the final message evaluates the condition.
+//!
+//! The walk comes in the paper's two flavors: the presentation's
+//! return-to-parent DFS ([`DepTree::faithful_walk`]) and the noted
+//! optimization of jumping straight to the next required locality
+//! ([`DepTree::optimized_order`]) — compare Fig. 5's 8-message walk with
+//! its dashed shortcut.
+
+use crate::ir::Place;
+
+/// The pruned dependency tree of an action's required localities.
+#[derive(Debug, Clone)]
+pub struct DepTree {
+    /// Interned places; index 0 is always [`Place::Input`] (the root).
+    pub nodes: Vec<Place>,
+    /// Parent index per node (root points at itself).
+    pub parent: Vec<usize>,
+    /// Children per node, in first-required order.
+    pub children: Vec<Vec<usize>>,
+    /// Whether a value must be gathered *at* this node.
+    pub required: Vec<bool>,
+}
+
+/// One move of a gather walk; every move is one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkMove {
+    /// Descend from `from` to its child `to`.
+    Down {
+        /// Node the move leaves.
+        from: usize,
+        /// Node the move arrives at.
+        to: usize,
+    },
+    /// Return from `from` to its parent `to`.
+    Up {
+        /// Node the move leaves.
+        from: usize,
+        /// Node the move arrives at.
+        to: usize,
+    },
+}
+
+impl WalkMove {
+    /// The node this move arrives at.
+    pub fn to(&self) -> usize {
+        match *self {
+            WalkMove::Down { to, .. } | WalkMove::Up { to, .. } => to,
+        }
+    }
+}
+
+impl DepTree {
+    /// Build the tree for the given required localities (order matters: it
+    /// fixes sibling visit order, mirroring declaration order in the
+    /// pattern source).
+    pub fn build(required: &[Place]) -> DepTree {
+        let mut t = DepTree {
+            nodes: vec![Place::Input],
+            parent: vec![0],
+            children: vec![Vec::new()],
+            required: vec![false],
+        };
+        for p in required {
+            let idx = t.intern(p);
+            t.required[idx] = true;
+        }
+        t
+    }
+
+    /// Index of `p`, inserting it (and its ancestors) if absent.
+    pub fn intern(&mut self, p: &Place) -> usize {
+        if let Some(i) = self.nodes.iter().position(|n| n == p) {
+            return i;
+        }
+        let parent_place = p.known_at();
+        let parent_idx = self.intern(&parent_place);
+        let idx = self.nodes.len();
+        self.nodes.push(p.clone());
+        self.parent.push(parent_idx);
+        self.children.push(Vec::new());
+        self.required.push(false);
+        self.children[parent_idx].push(idx);
+        idx
+    }
+
+    /// Index of an already-interned place.
+    pub fn index_of(&self, p: &Place) -> Option<usize> {
+        self.nodes.iter().position(|n| n == p)
+    }
+
+    /// Number of localities that must be visited (excluding the root unless
+    /// it is itself required — values at the root are free, the action
+    /// starts there).
+    pub fn required_count(&self) -> usize {
+        self.required
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| r && i != 0)
+            .count()
+    }
+
+    /// Required localities in depth-first pre-order (the order values are
+    /// gathered; guarantees a locality's identity-providing ancestor is
+    /// visited first). Excludes the root.
+    pub fn optimized_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.pre_order(0, &mut |i| {
+            if i != 0 && self.required[i] {
+                out.push(i);
+            }
+        });
+        out
+    }
+
+    fn pre_order(&self, node: usize, f: &mut impl FnMut(usize)) {
+        f(node);
+        for &c in &self.children[node] {
+            self.pre_order(c, f);
+        }
+    }
+
+    /// The paper's presentation walk: full depth-first traversal with
+    /// explicit returns to the parent between sibling subtrees, trimmed so
+    /// the walk ends at the last required locality (the evaluation site
+    /// follows; there is no "going home" message). Every move is one
+    /// message.
+    pub fn faithful_walk(&self) -> Vec<WalkMove> {
+        let mut moves = Vec::new();
+        self.walk_rec(0, &mut moves);
+        // Trim trailing Up moves: the gather ends at the last value.
+        while matches!(moves.last(), Some(WalkMove::Up { .. })) {
+            moves.pop();
+        }
+        moves
+    }
+
+    fn walk_rec(&self, node: usize, moves: &mut Vec<WalkMove>) {
+        for &c in &self.children[node] {
+            if !self.subtree_has_required(c) {
+                continue; // pruned (paper step 2)
+            }
+            moves.push(WalkMove::Down { from: node, to: c });
+            self.walk_rec(c, moves);
+            moves.push(WalkMove::Up { from: c, to: node });
+        }
+    }
+
+    fn subtree_has_required(&self, node: usize) -> bool {
+        self.required[node] || self.children[node].iter().any(|&c| self.subtree_has_required(c))
+    }
+
+    /// Messages needed by the faithful walk.
+    pub fn faithful_message_count(&self) -> usize {
+        self.faithful_walk().len()
+    }
+
+    /// Messages needed by the straight-jump optimization.
+    pub fn optimized_message_count(&self) -> usize {
+        self.optimized_order().len()
+    }
+}
+
+impl std::fmt::Display for DepTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn rec(
+            t: &DepTree,
+            node: usize,
+            depth: usize,
+            f: &mut std::fmt::Formatter<'_>,
+        ) -> std::fmt::Result {
+            writeln!(
+                f,
+                "{}{:?}{}",
+                "  ".repeat(depth),
+                t.nodes[node],
+                if t.required[node] { "  [gather]" } else { "" }
+            )?;
+            for &c in &t.children[node] {
+                rec(t, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, 0, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::MapId;
+
+    const P: MapId = 10; // a vertex-valued "pointer" map
+
+    #[test]
+    fn sssp_tree_is_flat() {
+        // relax gathers dist[v], weight[e] (both at Input) and dist[trg(e)].
+        let t = DepTree::build(&[Place::Input, Place::GenTrg]);
+        assert_eq!(t.nodes.len(), 2);
+        assert_eq!(t.required_count(), 1); // only trg(e) needs a visit
+        assert_eq!(t.faithful_message_count(), 1);
+        assert_eq!(t.optimized_message_count(), 1);
+    }
+
+    #[test]
+    fn chained_indirection_orders_ancestors_first() {
+        // dist[p[p[v]]]: need p[v] (at v), then p[p[v]] (at p[v]), then the
+        // value at p[p[v]].
+        let pv = Place::map_at(P, Place::Input);
+        let ppv = Place::map_at(P, pv.clone());
+        let t = DepTree::build(&[ppv.clone(), pv.clone()]);
+        let order = t.optimized_order();
+        let places: Vec<_> = order.iter().map(|&i| t.nodes[i].clone()).collect();
+        assert_eq!(places, vec![pv, ppv]);
+        assert_eq!(t.faithful_message_count(), 2); // v -> p[v] -> p[p[v]]
+    }
+
+    #[test]
+    fn siblings_cost_returns_in_faithful_mode() {
+        // Two independent branches: v -> a, v -> b (a = p[v], b = q[v]).
+        let a = Place::map_at(P, Place::Input);
+        let b = Place::map_at(P + 1, Place::Input);
+        let t = DepTree::build(&[a, b]);
+        // Faithful: down a, up, down b = 3 messages; optimized: 2.
+        assert_eq!(t.faithful_message_count(), 3);
+        assert_eq!(t.optimized_message_count(), 2);
+    }
+
+    #[test]
+    fn pruning_skips_unrequired_subtrees() {
+        let a = Place::map_at(P, Place::Input);
+        let deep = Place::map_at(P + 1, a.clone());
+        let mut t = DepTree::build(std::slice::from_ref(&a));
+        // Intern a deeper node but do not require it: walk must not visit.
+        t.intern(&deep);
+        assert_eq!(t.faithful_message_count(), 1);
+        assert_eq!(t.optimized_message_count(), 1);
+    }
+
+    #[test]
+    fn root_required_is_free() {
+        let t = DepTree::build(&[Place::Input]);
+        assert_eq!(t.required_count(), 0);
+        assert_eq!(t.faithful_message_count(), 0);
+        assert!(t.optimized_order().is_empty());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let a = Place::map_at(P, Place::Input);
+        let t = DepTree::build(&[a]);
+        let s = format!("{t}");
+        assert!(s.contains("Input"));
+        assert!(s.contains("[gather]"));
+    }
+}

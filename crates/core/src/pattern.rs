@@ -1,0 +1,347 @@
+//! The `pattern` construct of the grammar (§III):
+//!
+//! ```text
+//! <pattern>  ::= 'pattern' '{' <properties> <actions> '}'
+//! <property> ::= <property-kind> '<' <type> '>' <name> ';'
+//! ```
+//!
+//! [`PatternBuilder`] groups property declarations and actions under one
+//! name and installs them collectively — creating the machine-shared
+//! property maps, registering them with a fresh engine in declaration
+//! order, and compiling every action — returning a [`Pattern`] that hands
+//! out the typed maps and action ids by name.
+//!
+//! ```
+//! use dgp_am::{Machine, MachineConfig};
+//! use dgp_core::builder::ActionBuilder;
+//! use dgp_core::engine::{EngineConfig, Val};
+//! use dgp_core::ir::{GeneratorIr, Place};
+//! use dgp_core::pattern::PatternBuilder;
+//! use dgp_core::strategies::fixed_point;
+//! use dgp_graph::{DistGraph, Distribution, EdgeList};
+//!
+//! let el = EdgeList::from_weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+//! let graph = DistGraph::build(&el, Distribution::block(3, 2), false);
+//! Machine::run(MachineConfig::new(2), move |ctx| {
+//!     // pattern SSSP {
+//!     //   vertex-property<distance> dist; edge-property<distance> weight;
+//!     //   relax(Vertex v) { ... }
+//!     // }
+//!     let mut p = PatternBuilder::new("SSSP");
+//!     let dist = p.vertex_property("dist", f64::INFINITY);
+//!     let weight = p.edge_weights("weight");
+//!     let mut b = ActionBuilder::new("relax", GeneratorIr::OutEdges);
+//!     let d_t = b.read_vertex(dist, Place::GenTrg);
+//!     let d_v = b.read_vertex(dist, Place::Input);
+//!     let w_e = b.read_edge(weight);
+//!     b.cond(&[d_t, d_v, w_e], move |e| e.f64(d_t) > e.f64(d_v) + e.f64(w_e))
+//!         .assign(dist, Place::GenTrg, &[d_v, w_e], move |e, _| {
+//!             Val::F(e.f64(d_v) + e.f64(w_e))
+//!         });
+//!     p.action(b.build().unwrap());
+//!
+//!     let sssp = p.install(ctx, &graph, Some(&el), EngineConfig::default()).unwrap();
+//!     let dist_map = sssp.vertex_map::<f64>("dist");
+//!     if ctx.rank() == graph.owner(0) {
+//!         dist_map.set(ctx.rank(), 0, 0.0);
+//!     }
+//!     ctx.barrier();
+//!     let seeds: Vec<_> = (graph.owner(0) == ctx.rank()).then_some(0).into_iter().collect();
+//!     fixed_point(ctx, &sssp.engine, sssp.action("relax"), &seeds);
+//!     if ctx.rank() == 0 {
+//!         assert_eq!(dist_map.snapshot(), vec![0.0, 1.0, 2.0]);
+//!     }
+//! });
+//! ```
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dgp_am::AmCtx;
+use dgp_graph::properties::{AtomicValue, AtomicVertexMap, EdgeMap, LockedVertexMap};
+use dgp_graph::{DistGraph, EdgeList, VertexId};
+
+use crate::builder::BuiltAction;
+use crate::engine::{ActionId, EngineConfig, PatternEngine, ValCodec};
+use crate::ir::MapId;
+
+type PropInstaller =
+    Box<dyn FnOnce(&AmCtx, &PatternEngine, Option<&EdgeList>) -> Box<dyn Any + Send> + Send>;
+
+struct PropSpec {
+    name: String,
+    install: PropInstaller,
+}
+
+/// Declares a pattern: property maps plus actions, in grammar order.
+pub struct PatternBuilder {
+    name: String,
+    props: Vec<PropSpec>,
+    actions: Vec<BuiltAction>,
+}
+
+impl PatternBuilder {
+    /// Start a pattern named `name`.
+    pub fn new(name: impl Into<String>) -> PatternBuilder {
+        PatternBuilder {
+            name: name.into(),
+            props: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    fn next_id(&self) -> MapId {
+        self.props.len() as MapId
+    }
+
+    /// `vertex-property<T> name;` — an atomic vertex map initialized to
+    /// `init` on every vertex.
+    pub fn vertex_property<T>(&mut self, name: impl Into<String>, init: T) -> MapId
+    where
+        T: ValCodec + AtomicValue,
+    {
+        let id = self.next_id();
+        self.props.push(PropSpec {
+            name: name.into(),
+            install: Box::new(move |ctx, engine, _| {
+                let map = ctx.share(|| AtomicVertexMap::new(engine.graph().distribution(), init));
+                let got = engine.register_vertex_map(&map);
+                assert_eq!(got, id, "properties register in declaration order");
+                Box::new(map)
+            }),
+        });
+        id
+    }
+
+    /// `vertex-property<set<Vertex>> name;` — a set-valued vertex map
+    /// (usable as a `pmap-set` generator and with `insert` modifications).
+    pub fn vertex_set(&mut self, name: impl Into<String>) -> MapId {
+        let id = self.next_id();
+        self.props.push(PropSpec {
+            name: name.into(),
+            install: Box::new(move |ctx, engine, _| {
+                let map: LockedVertexMap<Vec<VertexId>> =
+                    ctx.share(|| LockedVertexMap::new(engine.graph().distribution(), Vec::new()));
+                let got = engine.register_set_map(&map);
+                assert_eq!(got, id, "properties register in declaration order");
+                Box::new(map)
+            }),
+        });
+        id
+    }
+
+    /// `edge-property<distance> name;` — edge weights taken from the edge
+    /// list passed to [`install`](Self::install).
+    pub fn edge_weights(&mut self, name: impl Into<String>) -> MapId {
+        let id = self.next_id();
+        self.props.push(PropSpec {
+            name: name.into(),
+            install: Box::new(move |ctx, engine, el| {
+                let el = el.expect("edge_weights requires the edge list at install");
+                let map = ctx.share(|| EdgeMap::from_weights(engine.graph(), el));
+                let got = engine.register_edge_map(&map);
+                assert_eq!(got, id, "properties register in declaration order");
+                Box::new(map)
+            }),
+        });
+        id
+    }
+
+    /// Add an action (its name comes from the [`BuiltAction`]'s IR).
+    pub fn action(&mut self, built: BuiltAction) -> &mut Self {
+        self.actions.push(built);
+        self
+    }
+
+    /// Collectively install: create the shared maps, register everything
+    /// with a fresh engine, compile every action.
+    pub fn install(
+        self,
+        ctx: &AmCtx,
+        graph: &DistGraph,
+        el: Option<&EdgeList>,
+        cfg: EngineConfig,
+    ) -> Result<Pattern, String> {
+        let engine = PatternEngine::new(ctx, graph.clone(), cfg);
+        let mut maps = HashMap::new();
+        for spec in self.props {
+            let handle = (spec.install)(ctx, &engine, el);
+            if maps.insert(spec.name.clone(), handle).is_some() {
+                return Err(format!(
+                    "pattern {:?}: duplicate property {:?}",
+                    self.name, spec.name
+                ));
+            }
+        }
+        let mut actions = HashMap::new();
+        for built in self.actions {
+            let name = built.ir.name.clone();
+            let id = engine.add_action(built)?;
+            if actions.insert(name.clone(), id).is_some() {
+                return Err(format!(
+                    "pattern {:?}: duplicate action {:?}",
+                    self.name, name
+                ));
+            }
+        }
+        Ok(Pattern {
+            name: Arc::new(self.name),
+            engine,
+            maps,
+            actions,
+        })
+    }
+}
+
+/// An installed pattern: the engine, plus maps and actions by name.
+pub struct Pattern {
+    /// The pattern's name.
+    pub name: Arc<String>,
+    /// The engine everything was registered with.
+    pub engine: PatternEngine,
+    maps: HashMap<String, Box<dyn Any + Send>>,
+    actions: HashMap<String, ActionId>,
+}
+
+impl Pattern {
+    /// Action id by name.
+    #[track_caller]
+    pub fn action(&self, name: &str) -> ActionId {
+        *self
+            .actions
+            .get(name)
+            .unwrap_or_else(|| panic!("pattern {:?} has no action {name:?}", self.name))
+    }
+
+    /// Typed atomic vertex map by name.
+    #[track_caller]
+    pub fn vertex_map<T>(&self, name: &str) -> AtomicVertexMap<T>
+    where
+        T: ValCodec + AtomicValue,
+    {
+        self.maps
+            .get(name)
+            .unwrap_or_else(|| panic!("pattern {:?} has no property {name:?}", self.name))
+            .downcast_ref::<AtomicVertexMap<T>>()
+            .unwrap_or_else(|| panic!("property {name:?} has a different type"))
+            .clone()
+    }
+
+    /// Set-valued vertex map by name.
+    #[track_caller]
+    pub fn set_map(&self, name: &str) -> LockedVertexMap<Vec<VertexId>> {
+        self.maps
+            .get(name)
+            .unwrap_or_else(|| panic!("pattern {:?} has no property {name:?}", self.name))
+            .downcast_ref::<LockedVertexMap<Vec<VertexId>>>()
+            .unwrap_or_else(|| panic!("property {name:?} is not a vertex set"))
+            .clone()
+    }
+
+    /// Edge map by name.
+    #[track_caller]
+    pub fn edge_map<T>(&self, name: &str) -> EdgeMap<T>
+    where
+        T: ValCodec + Clone + Send + Sync + 'static,
+    {
+        self.maps
+            .get(name)
+            .unwrap_or_else(|| panic!("pattern {:?} has no property {name:?}", self.name))
+            .downcast_ref::<EdgeMap<T>>()
+            .unwrap_or_else(|| panic!("property {name:?} is not an edge map"))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ActionBuilder;
+    use crate::engine::Val;
+    use crate::ir::{GeneratorIr, Place};
+    use crate::strategies::once;
+    use dgp_am::{Machine, MachineConfig};
+    use dgp_graph::Distribution;
+
+    fn tiny() -> (EdgeList, DistGraph) {
+        let el = EdgeList::from_weighted(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let graph = DistGraph::build(&el, Distribution::block(4, 2), false);
+        (el, graph)
+    }
+
+    #[test]
+    fn builds_and_retrieves_by_name() {
+        let (el, graph) = tiny();
+        Machine::run(MachineConfig::new(2), move |ctx| {
+            let mut p = PatternBuilder::new("T");
+            let flag = p.vertex_property("flag", false);
+            let deg = p.vertex_property("deg", 0u64);
+            let _set = p.vertex_set("marks");
+            let w = p.edge_weights("w");
+            let mut b = ActionBuilder::new("count", GeneratorIr::OutEdges);
+            let d_v = b.read_vertex(deg, Place::Input);
+            let w_e = b.read_edge(w);
+            b.cond(&[d_v, w_e], move |e| e.f64(w_e) > 0.0).assign(
+                deg,
+                Place::Input,
+                &[],
+                move |_, old| Val::U(old.as_u64() + 1),
+            );
+            p.action(b.build().unwrap());
+            let pat = p
+                .install(ctx, &graph, Some(&el), EngineConfig::default())
+                .unwrap();
+            let _ = flag;
+            let deg_map = pat.vertex_map::<u64>("deg");
+            let _ = pat.set_map("marks");
+            let _ = pat.edge_map::<f64>("w");
+            let locals: Vec<_> = graph.distribution().owned(ctx.rank()).collect();
+            once(ctx, &pat.engine, pat.action("count"), &locals);
+            if ctx.rank() == 0 {
+                assert_eq!(deg_map.snapshot(), vec![1, 1, 1, 0]);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn wrong_type_retrieval_panics() {
+        let (el, graph) = tiny();
+        let r = std::panic::catch_unwind(move || {
+            Machine::run(MachineConfig::new(1), move |ctx| {
+                let mut p = PatternBuilder::new("T");
+                let x = p.vertex_property("x", 0u64);
+                let mut b = ActionBuilder::new("noop", GeneratorIr::None);
+                let xs = b.read_vertex(x, Place::Input);
+                b.cond(&[xs], move |e| e.u64(xs) == 1).assign(
+                    x,
+                    Place::Input,
+                    &[],
+                    |_, _| Val::U(0),
+                );
+                p.action(b.build().unwrap());
+                let pat = p
+                    .install(ctx, &graph, Some(&el), EngineConfig::default())
+                    .unwrap();
+                let _wrong = pat.vertex_map::<f64>("x"); // panics
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (el, graph) = tiny();
+        Machine::run(MachineConfig::new(1), move |ctx| {
+            let mut p = PatternBuilder::new("T");
+            p.vertex_property("x", 0u64);
+            p.vertex_property("x", 1u64);
+            let err = match p.install(ctx, &graph, Some(&el), EngineConfig::default()) {
+                Err(e) => e,
+                Ok(_) => panic!("duplicate property accepted"),
+            };
+            assert!(err.contains("duplicate property"), "{err}");
+        });
+    }
+}

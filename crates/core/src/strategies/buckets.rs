@@ -1,0 +1,168 @@
+//! The thread-safe buckets structure backing the Δ-stepping strategy.
+//!
+//! "The Δ-stepping strategy, for example, has to provide a thread-safe
+//! buckets data structure" (§II-A). A bucket `B[i]` holds vertices whose
+//! bucketing value falls in `[i·Δ, (i+1)·Δ)`. Work hooks insert from
+//! handler threads while the strategy's main loop pops, so everything is
+//! behind a lock (a single mutex — bucket operations are tiny compared to
+//! the actions they schedule).
+
+use dgp_graph::VertexId;
+use parking_lot::Mutex;
+
+struct Inner {
+    buckets: Vec<Vec<VertexId>>,
+    len: usize,
+}
+
+/// Thread-safe Δ-buckets over rank-local vertices.
+pub struct Buckets {
+    delta: f64,
+    inner: Mutex<Inner>,
+}
+
+impl Buckets {
+    /// Buckets of width `delta` (> 0).
+    pub fn new(delta: f64) -> Buckets {
+        assert!(delta > 0.0, "Δ must be positive");
+        Buckets {
+            delta,
+            inner: Mutex::new(Inner {
+                buckets: Vec::new(),
+                len: 0,
+            }),
+        }
+    }
+
+    /// The bucket index of value `x`.
+    pub fn index_of(&self, x: f64) -> usize {
+        assert!(x >= 0.0 && x.is_finite(), "bucket value {x} out of domain");
+        (x / self.delta) as usize
+    }
+
+    /// Insert `v` with bucketing value `x` (e.g. its tentative distance).
+    pub fn insert(&self, v: VertexId, x: f64) {
+        let idx = self.index_of(x);
+        let mut g = self.inner.lock();
+        if g.buckets.len() <= idx {
+            g.buckets.resize_with(idx + 1, Vec::new);
+        }
+        g.buckets[idx].push(v);
+        g.len += 1;
+    }
+
+    /// Pop one vertex from bucket `i`.
+    pub fn pop(&self, i: usize) -> Option<VertexId> {
+        let mut g = self.inner.lock();
+        let v = g.buckets.get_mut(i)?.pop();
+        if v.is_some() {
+            g.len -= 1;
+        }
+        v
+    }
+
+    /// Drain bucket `i` entirely.
+    pub fn drain(&self, i: usize) -> Vec<VertexId> {
+        let mut g = self.inner.lock();
+        let out = match g.buckets.get_mut(i) {
+            Some(b) => std::mem::take(b),
+            None => Vec::new(),
+        };
+        g.len -= out.len();
+        out
+    }
+
+    /// Whether bucket `i` is empty.
+    pub fn is_empty_at(&self, i: usize) -> bool {
+        self.inner.lock().buckets.get(i).is_none_or(|b| b.is_empty())
+    }
+
+    /// Lowest non-empty bucket index at or after `from`.
+    pub fn first_nonempty_from(&self, from: usize) -> Option<usize> {
+        let g = self.inner.lock();
+        (from..g.buckets.len()).find(|&i| !g.buckets[i].is_empty())
+    }
+
+    /// Total queued vertices.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether any bucket holds work.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn indexes_by_delta() {
+        let b = Buckets::new(2.0);
+        assert_eq!(b.index_of(0.0), 0);
+        assert_eq!(b.index_of(1.999), 0);
+        assert_eq!(b.index_of(2.0), 1);
+        assert_eq!(b.index_of(9.5), 4);
+    }
+
+    #[test]
+    fn insert_pop_drain() {
+        let b = Buckets::new(1.0);
+        b.insert(10, 0.5);
+        b.insert(11, 0.9);
+        b.insert(12, 3.2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.first_nonempty_from(0), Some(0));
+        assert_eq!(b.first_nonempty_from(1), Some(3));
+        assert!(b.pop(0).is_some());
+        let rest = b.drain(0);
+        assert_eq!(rest.len(), 1);
+        assert!(b.is_empty_at(0));
+        assert_eq!(b.drain(3), vec![12]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pop_from_missing_bucket_is_none() {
+        let b = Buckets::new(1.0);
+        assert_eq!(b.pop(7), None);
+        assert!(b.is_empty_at(7));
+        assert_eq!(b.first_nonempty_from(0), None);
+    }
+
+    #[test]
+    fn concurrent_insert_pop_balances() {
+        let b = Arc::new(Buckets::new(1.0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        b.insert(t * 1000 + i, (i % 10) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.len(), 4000);
+        let mut popped = 0;
+        for i in 0..10 {
+            popped += b.drain(i).len();
+        }
+        assert_eq!(popped, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn invalid_value_rejected() {
+        Buckets::new(1.0).insert(0, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "Δ must be positive")]
+    fn zero_delta_rejected() {
+        Buckets::new(0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graphviz (DOT) rendering of the analysis artifacts: dependency trees
+//! (Def. 2 / Fig. 5) and compiled message programs. Purely textual — pipe
+//! the output into `dot -Tsvg` to regenerate the paper's figures.
+
+use crate::depgraph::DepTree;
+use crate::ir::Place;
+use crate::plan::{ExecPlan, ExecStep};
+
+fn place_label(p: &Place) -> String {
+    match p {
+        Place::Input => "v".into(),
+        Place::GenVertex => "u".into(),
+        Place::GenSrc => "src(e)".into(),
+        Place::GenTrg => "trg(e)".into(),
+        Place::MapAt(m, inner) => format!("p{m}[{}]", place_label(inner)),
+    }
+}
+
+impl DepTree {
+    /// Render as DOT: solid edges are the tree (one message per traversal
+    /// move), doubled circles are gather stops, and the dashed path shows
+    /// the straight-jump order — the shape of the paper's Fig. 5.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph deptree {\n  rankdir=TB;\n");
+        for (i, p) in self.nodes.iter().enumerate() {
+            let shape = if self.required[i] {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\", shape={shape}];\n",
+                place_label(p)
+            ));
+        }
+        for (i, &parent) in self.parent.iter().enumerate() {
+            if i != 0 {
+                out.push_str(&format!("  n{parent} -> n{i};\n"));
+            }
+        }
+        // The optimized traversal as a dashed overlay.
+        let order = self.optimized_order();
+        let mut prev = 0usize;
+        for &n in &order {
+            out.push_str(&format!(
+                "  n{prev} -> n{n} [style=dashed, color=gray, constraint=false];\n"
+            ));
+            prev = n;
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl ExecPlan {
+    /// Render the message program as DOT: boxes are steps, solid edges are
+    /// control flow (labelled T/F at branches), and `goto` boxes name the
+    /// locality the message travels to.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph plan {\n  node [shape=box, fontname=monospace];\n");
+        for (i, s) in self.steps.iter().enumerate() {
+            let (label, edges): (String, Vec<(usize, &str)>) = match s {
+                ExecStep::Goto { to, next } => (
+                    format!("goto {}", place_label(&self.places[*to])),
+                    vec![(*next, "")],
+                ),
+                ExecStep::Gather { slots, next } => {
+                    (format!("gather {slots:?}"), vec![(*next, "")])
+                }
+                ExecStep::Eval {
+                    cond,
+                    on_true,
+                    on_false,
+                    ..
+                } => (
+                    format!("eval c{cond}"),
+                    vec![(*on_true, "T"), (*on_false, "F")],
+                ),
+                ExecStep::EvalModify {
+                    cond,
+                    mods,
+                    on_true,
+                    on_false,
+                    ..
+                } => (
+                    format!("eval+modify c{cond} {mods:?}"),
+                    vec![(*on_true, "T"), (*on_false, "F")],
+                ),
+                ExecStep::ModifyGroup { cond, mods, next, .. } => {
+                    (format!("modify c{cond} {mods:?}"), vec![(*next, "")])
+                }
+                ExecStep::End => ("end".into(), vec![]),
+            };
+            out.push_str(&format!("  s{i} [label=\"{i}: {label}\"];\n"));
+            for (t, lbl) in edges {
+                if lbl.is_empty() {
+                    out.push_str(&format!("  s{i} -> s{t};\n"));
+                } else {
+                    out.push_str(&format!("  s{i} -> s{t} [label=\"{lbl}\"];\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ActionIr, ConditionIr, GeneratorIr, ModificationIr, ReadRef, Slot};
+    use crate::plan::{compile, PlanMode};
+
+    #[test]
+    fn deptree_dot_contains_nodes_and_dashed_path() {
+        let a = Place::map_at(0, Place::Input);
+        let b = Place::map_at(1, a.clone());
+        let t = DepTree::build(&[a, b]);
+        let dot = t.to_dot();
+        assert!(dot.contains("digraph deptree"));
+        assert!(dot.contains("p0[v]"));
+        assert!(dot.contains("p1[p0[v]]"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn plan_dot_renders_branches() {
+        let ir = ActionIr {
+            name: "x".into(),
+            generator: GeneratorIr::OutEdges,
+            slots: vec![
+                ReadRef::VertexProp {
+                    map: 0,
+                    at: Place::GenTrg,
+                },
+                ReadRef::VertexProp {
+                    map: 0,
+                    at: Place::Input,
+                },
+            ],
+            conditions: vec![ConditionIr {
+                reads: vec![Slot(0), Slot(1)],
+                mods: vec![ModificationIr {
+                    map: 0,
+                    at: Place::GenTrg,
+                    reads: vec![Slot(1)],
+                }],
+                is_else: false,
+            }],
+        };
+        let plan = compile(&ir, PlanMode::Optimized).unwrap();
+        let dot = plan.to_dot();
+        assert!(dot.contains("digraph plan"));
+        assert!(dot.contains("eval+modify"));
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("goto trg(e)"));
+    }
+}

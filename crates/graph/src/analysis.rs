@@ -1,0 +1,164 @@
+//! Sequential graph analysis helpers: degree statistics and reachability,
+//! used by tests and by the experiment harness to characterize workloads
+//! (not part of the distributed data path).
+
+use crate::edgelist::EdgeList;
+
+/// Degree statistics of an edge list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Number of vertices with no outgoing edges.
+    pub isolated: usize,
+}
+
+/// Out-degree statistics.
+pub fn degree_stats(el: &EdgeList) -> DegreeStats {
+    let deg = el.out_degrees();
+    if deg.is_empty() {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
+    }
+    DegreeStats {
+        min: *deg.iter().min().unwrap(),
+        max: *deg.iter().max().unwrap(),
+        mean: deg.iter().sum::<usize>() as f64 / deg.len() as f64,
+        isolated: deg.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+/// Out-degree histogram in power-of-two buckets: `histogram[i]` counts
+/// vertices with degree in `[2^(i-1), 2^i)` (`histogram[0]` counts degree
+/// 0) — the standard way to eyeball a power law.
+pub fn degree_histogram(el: &EdgeList) -> Vec<usize> {
+    let deg = el.out_degrees();
+    let max = deg.iter().copied().max().unwrap_or(0);
+    let buckets = if max == 0 {
+        1
+    } else {
+        (usize::BITS - max.leading_zeros()) as usize + 1
+    };
+    let mut hist = vec![0usize; buckets];
+    for &d in &deg {
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Sequential adjacency structure for reference computations.
+pub fn adjacency(el: &EdgeList) -> Vec<Vec<u64>> {
+    let mut adj = vec![Vec::new(); el.num_vertices() as usize];
+    for &(u, v) in &el.edges {
+        adj[u as usize].push(v);
+    }
+    adj
+}
+
+/// The set of vertices reachable from `source` (sequential BFS), as a
+/// boolean mask.
+pub fn reachable_from(el: &EdgeList, source: u64) -> Vec<bool> {
+    let n = el.num_vertices() as usize;
+    let adj = adjacency(el);
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// BFS levels from `source` (`u64::MAX` = unreachable), the reference for
+/// BFS pattern validation.
+pub fn bfs_levels(el: &EdgeList, source: u64) -> Vec<u64> {
+    let n = el.num_vertices() as usize;
+    let adj = adjacency(el);
+    let mut level = vec![u64::MAX; n];
+    if n == 0 {
+        return level;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    level[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if level[v as usize] == u64::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let s = degree_stats(&generators::star(5));
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.isolated, 4);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_power_law() {
+        // star(9): hub degree 8 -> bucket 4 ([8,16)); leaves degree 0.
+        let h = degree_histogram(&generators::star(9));
+        assert_eq!(h, vec![8, 0, 0, 0, 1]);
+        let h = degree_histogram(&EdgeList::new(3));
+        assert_eq!(h, vec![3]);
+        // RMAT is skewed: the top bucket is non-empty well beyond the mean.
+        let h = degree_histogram(&generators::rmat(9, 8, generators::RmatParams::GRAPH500, 1));
+        assert!(h.len() > 5, "{h:?}");
+    }
+
+    #[test]
+    fn reachability_on_path() {
+        let el = generators::path(5);
+        let r = reachable_from(&el, 2);
+        assert_eq!(r, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn bfs_levels_on_tree() {
+        let el = generators::binary_tree(3);
+        let l = bfs_levels(&el, 0);
+        assert_eq!(l, vec![0, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let el = EdgeList::new(0);
+        let s = degree_stats(&el);
+        assert_eq!(s.max, 0);
+        assert!(bfs_levels(&el, 0).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-rank CSR shards.
+//!
+//! "We assume a distributed graph, where every node stores a portion of
+//! vertices and their outgoing edges" (§III-A); bidirectional storage adds
+//! incoming edges. Shards also remember, for each stored edge, its index in
+//! the original edge list (`out_perm` / `in_perm`) so that edge property
+//! maps can be co-located with the structure — "all the outgoing and
+//! incoming edges are located on the same node as are the corresponding
+//! vertex and edge property values" (§IV).
+
+use crate::distribution::{Distribution, VertexId};
+use crate::edgelist::EdgeList;
+
+/// One rank's portion of a [`crate::DistGraph`]: CSR over the rank's owned
+/// vertices (out-edges, plus in-edges when built bidirectional).
+#[derive(Debug, Clone)]
+pub struct Shard {
+    rank: usize,
+    dist: Distribution,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    /// Original edge-list index of each stored out-edge.
+    out_perm: Vec<usize>,
+    in_offsets: Option<Vec<usize>>,
+    in_sources: Vec<VertexId>,
+    /// Original edge-list index of each stored in-edge.
+    in_perm: Vec<usize>,
+}
+
+impl Shard {
+    /// Build rank `rank`'s shard from the global edge list.
+    pub fn build(
+        rank: usize,
+        dist: Distribution,
+        edges: &EdgeList,
+        bidirectional: bool,
+    ) -> Shard {
+        let nl = dist.local_count(rank);
+
+        let mut out_deg = vec![0usize; nl];
+        let mut in_deg = vec![0usize; if bidirectional { nl } else { 0 }];
+        for &(u, v) in &edges.edges {
+            if dist.owner(u) == rank {
+                out_deg[dist.local(u)] += 1;
+            }
+            if bidirectional && dist.owner(v) == rank {
+                in_deg[dist.local(v)] += 1;
+            }
+        }
+
+        let mut out_offsets = prefix_sum(&out_deg);
+        let mut out_targets = vec![0; *out_offsets.last().unwrap_or(&0)];
+        let mut out_perm = vec![0; out_targets.len()];
+        let mut in_offsets = if bidirectional {
+            Some(prefix_sum(&in_deg))
+        } else {
+            None
+        };
+        let (mut in_sources, mut in_perm) = match &in_offsets {
+            Some(off) => (vec![0; *off.last().unwrap()], vec![0; *off.last().unwrap()]),
+            None => (Vec::new(), Vec::new()),
+        };
+
+        // Fill using the offsets as moving cursors, then restore them.
+        let mut out_cur = out_offsets.clone();
+        let mut in_cur = in_offsets.clone().unwrap_or_default();
+        for (eid, &(u, v)) in edges.edges.iter().enumerate() {
+            if dist.owner(u) == rank {
+                let li = dist.local(u);
+                let slot = out_cur[li];
+                out_targets[slot] = v;
+                out_perm[slot] = eid;
+                out_cur[li] += 1;
+            }
+            if bidirectional && dist.owner(v) == rank {
+                let li = dist.local(v);
+                let slot = in_cur[li];
+                in_sources[slot] = u;
+                in_perm[slot] = eid;
+                in_cur[li] += 1;
+            }
+        }
+        out_offsets.truncate(nl + 1);
+        if let Some(off) = &mut in_offsets {
+            off.truncate(nl + 1);
+        }
+
+        Shard {
+            rank,
+            dist,
+            out_offsets,
+            out_targets,
+            out_perm,
+            in_offsets,
+            in_sources,
+            in_perm,
+        }
+    }
+
+    /// The owning rank of this shard.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The distribution the shard was built with.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Vertices owned by this rank.
+    pub fn num_local(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Out-edges stored by this rank.
+    pub fn num_out_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether in-edges are stored (bidirectional storage model).
+    pub fn is_bidirectional(&self) -> bool {
+        self.in_offsets.is_some()
+    }
+
+    /// Global id of local vertex `li`.
+    #[inline]
+    pub fn global_of(&self, li: usize) -> VertexId {
+        self.dist.global(self.rank, li)
+    }
+
+    /// Local index of global vertex `v` (must be owned here).
+    #[inline]
+    pub fn local_of(&self, v: VertexId) -> usize {
+        debug_assert_eq!(
+            self.dist.owner(v),
+            self.rank,
+            "vertex {v} accessed on non-owner rank {}",
+            self.rank
+        );
+        self.dist.local(v)
+    }
+
+    /// Out-degree of local vertex `li`.
+    #[inline]
+    pub fn out_degree(&self, li: usize) -> usize {
+        self.out_offsets[li + 1] - self.out_offsets[li]
+    }
+
+    /// Out-edges of local vertex `li` as `(local edge index, target)`. The
+    /// local edge index addresses co-located edge property values.
+    pub fn out_edges(&self, li: usize) -> impl Iterator<Item = (usize, VertexId)> + '_ {
+        let (lo, hi) = (self.out_offsets[li], self.out_offsets[li + 1]);
+        (lo..hi).map(move |e| (e, self.out_targets[e]))
+    }
+
+    /// Adjacent vertices via out-edges (the paper's built-in `adj` set on a
+    /// symmetric representation).
+    pub fn adj(&self, li: usize) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges(li).map(|(_, v)| v)
+    }
+
+    /// In-degree of local vertex `li`. Panics unless bidirectional.
+    #[inline]
+    pub fn in_degree(&self, li: usize) -> usize {
+        let off = self.in_offsets.as_ref().expect("graph built bidirectional");
+        off[li + 1] - off[li]
+    }
+
+    /// In-edges of local vertex `li` as `(local in-edge index, source)`.
+    /// Panics unless bidirectional.
+    pub fn in_edges(&self, li: usize) -> impl Iterator<Item = (usize, VertexId)> + '_ {
+        let off = self.in_offsets.as_ref().expect("graph built bidirectional");
+        let (lo, hi) = (off[li], off[li + 1]);
+        (lo..hi).map(move |e| (e, self.in_sources[e]))
+    }
+
+    /// Original edge-list index of stored out-edge `e` (for building edge
+    /// property maps).
+    pub fn out_edge_source_index(&self, e: usize) -> usize {
+        self.out_perm[e]
+    }
+
+    /// Original edge-list index of stored in-edge `e`.
+    pub fn in_edge_source_index(&self, e: usize) -> usize {
+        self.in_perm[e]
+    }
+
+    /// Number of stored in-edges (0 if not bidirectional).
+    pub fn num_in_edges(&self) -> usize {
+        self.in_sources.len()
+    }
+}
+
+fn prefix_sum(deg: &[usize]) -> Vec<usize> {
+    let mut off = Vec::with_capacity(deg.len() + 1);
+    let mut acc = 0;
+    off.push(0);
+    for &d in deg {
+        acc += d;
+        off.push(acc);
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        EdgeList::from_pairs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn out_edges_partitioned_by_owner() {
+        let el = diamond();
+        let dist = Distribution::block(4, 2);
+        let s0 = Shard::build(0, dist, &el, false);
+        let s1 = Shard::build(1, dist, &el, false);
+        assert_eq!(s0.num_local(), 2);
+        assert_eq!(s0.num_out_edges(), 3); // edges from 0 and 1
+        assert_eq!(s1.num_out_edges(), 1); // edge from 2
+        let t: Vec<_> = s0.out_edges(0).map(|(_, v)| v).collect();
+        assert_eq!(t, vec![1, 2]);
+    }
+
+    #[test]
+    fn in_edges_match_reversed_graph() {
+        let el = diamond();
+        let dist = Distribution::cyclic(4, 2);
+        for r in 0..2 {
+            let sh = Shard::build(r, dist, &el, true);
+            for li in 0..sh.num_local() {
+                let v = sh.global_of(li);
+                let mut srcs: Vec<_> = sh.in_edges(li).map(|(_, u)| u).collect();
+                srcs.sort_unstable();
+                let mut expect: Vec<_> = el
+                    .edges
+                    .iter()
+                    .filter(|&&(_, t)| t == v)
+                    .map(|&(s, _)| s)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(srcs, expect, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn perm_indices_recover_original_edges() {
+        let el = diamond();
+        let dist = Distribution::block(4, 3);
+        for r in 0..3 {
+            let sh = Shard::build(r, dist, &el, true);
+            for li in 0..sh.num_local() {
+                let u = sh.global_of(li);
+                for (e, v) in sh.out_edges(li) {
+                    assert_eq!(el.edges[sh.out_edge_source_index(e)], (u, v));
+                }
+                for (e, s) in sh.in_edges(li) {
+                    assert_eq!(el.edges[sh.in_edge_source_index(e)], (s, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let el = diamond();
+        let dist = Distribution::cyclic(4, 3);
+        let total: usize = (0..3)
+            .map(|r| Shard::build(r, dist, &el, false).num_out_edges())
+            .sum();
+        assert_eq!(total, el.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "bidirectional")]
+    fn in_edges_require_bidirectional() {
+        let el = diamond();
+        let sh = Shard::build(0, Distribution::block(4, 1), &el, false);
+        let _ = sh.in_degree(0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Vertex distributions: the vertex → owning-rank map.
+//!
+//! "In the distributed setting of AM++, a vertex can be located at any
+//! node... The basic addressing is provided by the graph for vertices,
+//! where the node of a vertex can be obtained from the graph" (§IV-D).
+//! A [`Distribution`] is that addressing: a pure function from global
+//! vertex id to (owner rank, dense local index) and back, capturable by
+//! address maps and message handlers.
+
+/// Global vertex identifier.
+pub type VertexId = u64;
+
+/// How `n` vertices are laid out across `ranks` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Contiguous ranges: the first `n % ranks` ranks own `⌈n/ranks⌉`
+    /// vertices each, the rest `⌊n/ranks⌋`.
+    Block {
+        /// Total vertices.
+        n: u64,
+        /// Number of ranks.
+        ranks: usize,
+    },
+    /// Round-robin: vertex `v` lives on rank `v % ranks` (destroys range
+    /// locality, balances power-law degree mass better).
+    Cyclic {
+        /// Total vertices.
+        n: u64,
+        /// Number of ranks.
+        ranks: usize,
+    },
+}
+
+impl Distribution {
+    /// Block distribution of `n` vertices over `ranks` ranks.
+    pub fn block(n: u64, ranks: usize) -> Distribution {
+        assert!(ranks >= 1);
+        Distribution::Block { n, ranks }
+    }
+
+    /// Cyclic distribution of `n` vertices over `ranks` ranks.
+    pub fn cyclic(n: u64, ranks: usize) -> Distribution {
+        assert!(ranks >= 1);
+        Distribution::Cyclic { n, ranks }
+    }
+
+    /// Total number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        match *self {
+            Distribution::Block { n, .. } | Distribution::Cyclic { n, .. } => n,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        match *self {
+            Distribution::Block { ranks, .. } | Distribution::Cyclic { ranks, .. } => ranks,
+        }
+    }
+
+    /// Owning rank of `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.num_vertices(), "vertex {v} out of range");
+        match *self {
+            Distribution::Block { n, ranks } => {
+                let (base, extra) = block_shape(n, ranks);
+                let cut = extra * (base + 1);
+                if v < cut {
+                    (v / (base + 1)) as usize
+                } else {
+                    (extra + (v - cut) / base.max(1)) as usize
+                }
+            }
+            Distribution::Cyclic { ranks, .. } => (v % ranks as u64) as usize,
+        }
+    }
+
+    /// Dense local index of `v` on its owner.
+    #[inline]
+    pub fn local(&self, v: VertexId) -> usize {
+        match *self {
+            Distribution::Block { n, ranks } => {
+                let (base, extra) = block_shape(n, ranks);
+                let cut = extra * (base + 1);
+                if v < cut {
+                    (v % (base + 1)) as usize
+                } else {
+                    ((v - cut) % base.max(1)) as usize
+                }
+            }
+            Distribution::Cyclic { ranks, .. } => (v / ranks as u64) as usize,
+        }
+    }
+
+    /// Global id of local index `local` on `rank` (inverse of
+    /// [`owner`](Self::owner)/[`local`](Self::local)).
+    #[inline]
+    pub fn global(&self, rank: usize, local: usize) -> VertexId {
+        match *self {
+            Distribution::Block { n, ranks } => {
+                let (base, extra) = block_shape(n, ranks);
+                let r = rank as u64;
+                if r < extra {
+                    r * (base + 1) + local as u64
+                } else {
+                    extra * (base + 1) + (r - extra) * base + local as u64
+                }
+            }
+            Distribution::Cyclic { ranks, .. } => local as u64 * ranks as u64 + rank as u64,
+        }
+    }
+
+    /// How many vertices `rank` owns.
+    pub fn local_count(&self, rank: usize) -> usize {
+        match *self {
+            Distribution::Block { n, ranks } => {
+                let (base, extra) = block_shape(n, ranks);
+                if (rank as u64) < extra {
+                    (base + 1) as usize
+                } else {
+                    base as usize
+                }
+            }
+            Distribution::Cyclic { n, ranks } => {
+                let r = rank as u64;
+                if r >= n {
+                    0
+                } else {
+                    ((n - r - 1) / ranks as u64 + 1) as usize
+                }
+            }
+        }
+    }
+
+    /// Iterate the global ids owned by `rank`.
+    pub fn owned(&self, rank: usize) -> impl Iterator<Item = VertexId> + '_ {
+        let d = *self;
+        (0..self.local_count(rank)).map(move |li| d.global(rank, li))
+    }
+}
+
+/// For a block distribution of `n` over `ranks`: `(base, extra)` where the
+/// first `extra` ranks own `base + 1` vertices and the rest own `base`.
+#[inline]
+fn block_shape(n: u64, ranks: usize) -> (u64, u64) {
+    (n / ranks as u64, n % ranks as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(d: Distribution) {
+        let n = d.num_vertices();
+        let mut counts = vec![0usize; d.ranks()];
+        for v in 0..n {
+            let r = d.owner(v);
+            let li = d.local(v);
+            assert_eq!(d.global(r, li), v, "{d:?} v={v}");
+            assert!(li < d.local_count(r), "{d:?} v={v} li={li}");
+            counts[r] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            assert_eq!(count, d.local_count(r), "{d:?} rank={r}");
+        }
+        let total: usize = (0..d.ranks()).map(|r| d.local_count(r)).sum();
+        assert_eq!(total as u64, n);
+    }
+
+    #[test]
+    fn block_roundtrips() {
+        for (n, ranks) in [(1, 1), (7, 1), (8, 3), (9, 3), (10, 3), (100, 7), (5, 8)] {
+            roundtrip(Distribution::block(n, ranks));
+        }
+    }
+
+    #[test]
+    fn cyclic_roundtrips() {
+        for (n, ranks) in [(1, 1), (7, 1), (8, 3), (9, 3), (10, 3), (100, 7), (5, 8)] {
+            roundtrip(Distribution::cyclic(n, ranks));
+        }
+    }
+
+    #[test]
+    fn block_is_contiguous() {
+        let d = Distribution::block(10, 3); // sizes 4, 3, 3
+        assert_eq!(d.local_count(0), 4);
+        assert_eq!(d.local_count(1), 3);
+        assert_eq!(d.local_count(2), 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(3), 0);
+        assert_eq!(d.owner(4), 1);
+        assert_eq!(d.owner(9), 2);
+    }
+
+    #[test]
+    fn cyclic_round_robins() {
+        let d = Distribution::cyclic(10, 3);
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(1), 1);
+        assert_eq!(d.owner(2), 2);
+        assert_eq!(d.owner(3), 0);
+        assert_eq!(d.local(3), 1);
+        assert_eq!(d.local_count(0), 4);
+        assert_eq!(d.local_count(1), 3);
+    }
+
+    #[test]
+    fn owned_lists_all_vertices() {
+        let d = Distribution::cyclic(11, 4);
+        let mut all: Vec<_> = (0..4).flat_map(|r| d.owned(r)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_ranks_than_vertices() {
+        let d = Distribution::block(3, 8);
+        roundtrip(d);
+        let empty_ranks = (0..8).filter(|&r| d.local_count(r) == 0).count();
+        assert_eq!(empty_ranks, 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! A mutable edge list: the universal construction input.
+
+use crate::distribution::VertexId;
+
+/// A directed edge list over vertices `0..n`, optionally carrying one
+/// weight per edge (kept index-aligned with `edges`).
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    n: u64,
+    /// Directed edges `(source, target)`.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional per-edge weights, aligned with `edges`.
+    pub weights: Option<Vec<f64>>,
+}
+
+impl EdgeList {
+    /// An empty edge list over `n` vertices.
+    pub fn new(n: u64) -> EdgeList {
+        EdgeList {
+            n,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Build from unweighted pairs.
+    pub fn from_pairs(n: u64, pairs: &[(VertexId, VertexId)]) -> EdgeList {
+        let mut el = EdgeList::new(n);
+        for &(u, v) in pairs {
+            el.push(u, v);
+        }
+        el
+    }
+
+    /// Build from weighted triples.
+    pub fn from_weighted(n: u64, triples: &[(VertexId, VertexId, f64)]) -> EdgeList {
+        let mut el = EdgeList::new(n);
+        el.weights = Some(Vec::with_capacity(triples.len()));
+        for &(u, v, w) in triples {
+            el.push_weighted(u, v, w);
+        }
+        el
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append an unweighted edge. Panics if the list is weighted.
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            self.weights.is_none(),
+            "use push_weighted on a weighted edge list"
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Append a weighted edge. Panics if earlier edges were unweighted.
+    pub fn push_weighted(&mut self, u: VertexId, v: VertexId, w: f64) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        let ws = self
+            .weights
+            .get_or_insert_with(Vec::new);
+        assert_eq!(
+            ws.len(),
+            self.edges.len(),
+            "cannot mix weighted and unweighted edges"
+        );
+        self.edges.push((u, v));
+        ws.push(w);
+    }
+
+    /// Add the reverse of every edge (weights duplicated): turns a directed
+    /// list into the symmetric representation of an undirected graph.
+    pub fn symmetrize(&mut self) {
+        let m = self.edges.len();
+        self.edges.reserve(m);
+        for i in 0..m {
+            let (u, v) = self.edges[i];
+            self.edges.push((v, u));
+        }
+        if let Some(ws) = &mut self.weights {
+            ws.reserve(m);
+            for i in 0..m {
+                let w = ws[i];
+                ws.push(w);
+            }
+        }
+    }
+
+    /// Remove self-loops and duplicate (u, v) pairs, keeping the *first*
+    /// occurrence's weight. Edge order is not preserved.
+    pub fn simplify(&mut self) {
+        let mut keyed: Vec<(VertexId, VertexId, usize)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, &(u, v))| u != v)
+            .map(|(i, &(u, v))| (u, v, i))
+            .collect();
+        keyed.sort_unstable();
+        keyed.dedup_by_key(|&mut (u, v, _)| (u, v));
+        let new_edges: Vec<_> = keyed.iter().map(|&(u, v, _)| (u, v)).collect();
+        if let Some(ws) = &self.weights {
+            let new_ws: Vec<_> = keyed.iter().map(|&(_, _, i)| ws[i]).collect();
+            self.weights = Some(new_ws);
+        }
+        self.edges = new_edges;
+    }
+
+    /// Attach uniform-random weights in `[lo, hi)` (replaces any existing).
+    pub fn randomize_weights(&mut self, lo: f64, hi: f64, seed: u64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.weights = Some(
+            (0..self.edges.len())
+                .map(|_| rng.gen_range(lo..hi))
+                .collect(),
+        );
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n as usize];
+        for &(u, _) in &self.edges {
+            d[u as usize] += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.out_degrees(), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn symmetrize_doubles() {
+        let mut el = EdgeList::from_weighted(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        el.symmetrize();
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.edges[2], (1, 0));
+        assert_eq!(el.weights.as_ref().unwrap()[2], 2.0);
+    }
+
+    #[test]
+    fn simplify_removes_loops_and_dups() {
+        let mut el = EdgeList::from_pairs(4, &[(0, 1), (1, 1), (0, 1), (2, 3), (3, 2)]);
+        el.simplify();
+        assert_eq!(el.num_edges(), 3);
+        assert!(!el.edges.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn simplify_keeps_first_weight() {
+        let mut el = EdgeList::from_weighted(3, &[(0, 1, 5.0), (0, 1, 9.0)]);
+        el.simplify();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.weights.as_ref().unwrap()[0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 2);
+    }
+
+    #[test]
+    fn randomize_weights_in_range() {
+        let mut el = EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]);
+        el.randomize_weights(1.0, 2.0, 7);
+        for &w in el.weights.as_ref().unwrap() {
+            assert!((1.0..2.0).contains(&w));
+        }
+    }
+}

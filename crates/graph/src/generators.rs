@@ -1,0 +1,354 @@
+//! Graph generators.
+//!
+//! The paper motivates the system with Graph500-class inputs (§I), whose
+//! reference generator is the RMAT/Kronecker model; [`rmat`] implements it
+//! with the standard Graph500 parameters. Erdős–Rényi and a family of
+//! structured graphs (grids, paths, stars, trees) cover the other workload
+//! shapes the experiment harness sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distribution::VertexId;
+use crate::edgelist::EdgeList;
+
+/// RMAT quadrant probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (both high bits 0).
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant (D = 1 - a - b - c).
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters (A, B, C, D) = (0.57, 0.19, 0.19,
+    /// 0.05).
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Recursive-matrix (Kronecker) generator: `2^scale` vertices,
+/// `edge_factor * 2^scale` directed edges, skewed per `params`.
+///
+/// Matches the Graph500 construction: one recursive quadrant descent per
+/// edge, with the standard parameter noise omitted for determinism.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> EdgeList {
+    assert!(scale < 63);
+    let n: u64 = 1 << scale;
+    let m = edge_factor * n as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    let (a, b, c) = (params.a, params.b, params.c);
+    let d = params.d();
+    assert!(d >= -1e-9, "RMAT probabilities exceed 1");
+    for _ in 0..m {
+        let (mut u, mut v) = (0u64, 0u64);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        el.push(u, v);
+    }
+    el
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` edges drawn uniformly (with replacement;
+/// call [`EdgeList::simplify`] for a simple graph).
+pub fn erdos_renyi(n: u64, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        el.push(u, v);
+    }
+    el
+}
+
+/// Uniform-degree random digraph: every vertex gets exactly `degree`
+/// out-edges with uniformly random targets.
+pub fn uniform_out_degree(n: u64, degree: usize, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for _ in 0..degree {
+            el.push(u, rng.gen_range(0..n));
+        }
+    }
+    el
+}
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n.saturating_sub(1) {
+        el.push(u, u + 1);
+    }
+    el
+}
+
+/// Directed cycle.
+pub fn cycle(n: u64) -> EdgeList {
+    let mut el = path(n);
+    if n > 1 {
+        el.push(n - 1, 0);
+    }
+    el
+}
+
+/// Star: edges from the hub `0` to every other vertex.
+pub fn star(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v);
+    }
+    el
+}
+
+/// Complete digraph (no self loops). Quadratic; for small `n`.
+pub fn complete(n: u64) -> EdgeList {
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                el.push(u, v);
+            }
+        }
+    }
+    el
+}
+
+/// `rows x cols` 4-neighbour grid, directed both ways along each
+/// neighbour relation (i.e. the symmetric representation).
+pub fn grid2d(rows: u64, cols: u64) -> EdgeList {
+    let n = rows * cols;
+    let mut el = EdgeList::new(n);
+    let id = |r: u64, c: u64| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push(id(r, c), id(r, c + 1));
+                el.push(id(r, c + 1), id(r, c));
+            }
+            if r + 1 < rows {
+                el.push(id(r, c), id(r + 1, c));
+                el.push(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    el
+}
+
+/// Complete binary tree of `levels` levels (edges parent -> child),
+/// `2^levels - 1` vertices.
+pub fn binary_tree(levels: u32) -> EdgeList {
+    let n = (1u64 << levels) - 1;
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push((v - 1) / 2, v);
+    }
+    el
+}
+
+/// A union of `k` disjoint undirected cliques of size `size` (symmetric
+/// representation) — the classic CC test input.
+pub fn disjoint_cliques(k: u64, size: u64) -> EdgeList {
+    let n = k * size;
+    let mut el = EdgeList::new(n);
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            for j in 0..size {
+                if i != j {
+                    el.push(base + i, base + j);
+                }
+            }
+        }
+    }
+    el
+}
+
+/// Random spanning structure plus extra edges within `k` equal-size
+/// groups: `k` connected components of `size` vertices each, harder than
+/// cliques because the diameter is non-trivial.
+pub fn component_blobs(k: u64, size: u64, extra_per_vertex: usize, seed: u64) -> EdgeList {
+    let n = k * size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for c in 0..k {
+        let base = c * size;
+        // Random spanning tree: attach each vertex to a random earlier one.
+        for i in 1..size {
+            let j = rng.gen_range(0..i);
+            el.push(base + i, base + j);
+            el.push(base + j, base + i);
+        }
+        for i in 0..size {
+            for _ in 0..extra_per_vertex {
+                let j = rng.gen_range(0..size);
+                if i != j {
+                    el.push(base + i, base + j);
+                    el.push(base + j, base + i);
+                }
+            }
+        }
+    }
+    el
+}
+
+/// Watts–Strogatz small world: a ring lattice where every vertex connects
+/// to its `k/2` nearest neighbours on each side (symmetric representation),
+/// with each edge's far endpoint rewired to a uniform random vertex with
+/// probability `beta` — short paths plus high clustering, the social-graph
+/// shape between pure lattices and Erdős–Rényi.
+pub fn small_world(n: u64, k: usize, beta: f64, seed: u64) -> EdgeList {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!((0.0..=1.0).contains(&beta));
+    assert!(n > k as u64, "ring needs n > k");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) as u64 {
+            let mut v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire, avoiding self loops.
+                loop {
+                    v = rng.gen_range(0..n);
+                    if v != u {
+                        break;
+                    }
+                }
+            }
+            el.push(u, v);
+            el.push(v, u);
+        }
+    }
+    el
+}
+
+/// Helper: which vertex ids does `el` actually connect (used in tests).
+pub fn touched_vertices(el: &EdgeList) -> Vec<VertexId> {
+    let mut vs: Vec<_> = el
+        .edges
+        .iter()
+        .flat_map(|&(u, v)| [u, v])
+        .collect();
+    vs.sort_unstable();
+    vs.dedup();
+    vs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_sizes() {
+        let el = rmat(8, 4, RmatParams::GRAPH500, 1);
+        assert_eq!(el.num_vertices(), 256);
+        assert_eq!(el.num_edges(), 1024);
+        for &(u, v) in &el.edges {
+            assert!(u < 256 && v < 256);
+        }
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(6, 8, RmatParams::GRAPH500, 42);
+        let b = rmat(6, 8, RmatParams::GRAPH500, 42);
+        assert_eq!(a.edges, b.edges);
+        let c = rmat(6, 8, RmatParams::GRAPH500, 43);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With Graph500 parameters, low-id vertices accumulate far more
+        // degree than high-id ones.
+        let el = rmat(10, 16, RmatParams::GRAPH500, 3);
+        let deg = el.out_degrees();
+        let lo: usize = deg[..64].iter().sum();
+        let hi: usize = deg[deg.len() - 64..].iter().sum();
+        assert!(lo > hi * 4, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn erdos_renyi_uniformish() {
+        let el = erdos_renyi(100, 10_000, 5);
+        let deg = el.out_degrees();
+        assert!(deg.iter().all(|&d| d > 50 && d < 200), "max={:?}", deg.iter().max());
+    }
+
+    #[test]
+    fn structured_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(4).num_edges(), 12);
+        assert_eq!(grid2d(3, 4).num_edges(), 2 * (3 * 3 + 2 * 4));
+        assert_eq!(binary_tree(3).num_edges(), 6);
+        assert_eq!(binary_tree(3).num_vertices(), 7);
+    }
+
+    #[test]
+    fn cliques_have_full_degree() {
+        let el = disjoint_cliques(3, 4);
+        assert_eq!(el.num_vertices(), 12);
+        let deg = el.out_degrees();
+        assert!(deg.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn blobs_touch_every_vertex() {
+        let el = component_blobs(4, 32, 2, 9);
+        assert_eq!(touched_vertices(&el).len(), 128);
+    }
+
+    #[test]
+    fn small_world_shapes() {
+        let el = small_world(100, 4, 0.0, 1);
+        // Pure ring lattice: every vertex has degree k (symmetric).
+        assert_eq!(el.num_edges(), 100 * 4);
+        let deg = el.out_degrees();
+        assert!(deg.iter().all(|&d| d == 4));
+        // With rewiring the degree sum is conserved but variance appears.
+        let el = small_world(100, 4, 0.5, 2);
+        assert_eq!(el.num_edges(), 100 * 4);
+        let deg = el.out_degrees();
+        assert!(deg.iter().any(|&d| d != 4));
+        // No self loops ever.
+        assert!(el.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn small_world_is_deterministic() {
+        assert_eq!(small_world(64, 6, 0.2, 9).edges, small_world(64, 6, 0.2, 9).edges);
+    }
+
+    #[test]
+    fn uniform_out_degree_exact() {
+        let el = uniform_out_degree(50, 7, 2);
+        assert!(el.out_degrees().iter().all(|&d| d == 7));
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one edge per line, `source target [weight]`, `#`-comments and
+//! blank lines ignored. The vertex count is `max id + 1` unless a header
+//! line `# vertices: N` raises it.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::edgelist::EdgeList;
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// Line number and description.
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed(line, what) => write!(f, "line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parse an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, ParseError> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut max_id: Option<u64> = None;
+    let mut declared_n: Option<u64> = None;
+    let mut saw_weight = false;
+
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(v) = rest.trim().strip_prefix("vertices:") {
+                declared_n = Some(v.trim().parse().map_err(|_| {
+                    ParseError::Malformed(lineno, format!("bad vertex count {v:?}"))
+                })?);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u64 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| ParseError::Malformed(lineno, "bad source id".into()))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| ParseError::Malformed(lineno, "missing target id".into()))?
+            .parse()
+            .map_err(|_| ParseError::Malformed(lineno, "bad target id".into()))?;
+        match it.next() {
+            Some(w) => {
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| ParseError::Malformed(lineno, "bad weight".into()))?;
+                if !saw_weight && !edges.is_empty() {
+                    return Err(ParseError::Malformed(
+                        lineno,
+                        "mix of weighted and unweighted edges".into(),
+                    ));
+                }
+                saw_weight = true;
+                weights.push(w);
+            }
+            None if saw_weight => {
+                return Err(ParseError::Malformed(
+                    lineno,
+                    "mix of weighted and unweighted edges".into(),
+                ))
+            }
+            None => {}
+        }
+        if it.next().is_some() {
+            return Err(ParseError::Malformed(lineno, "trailing tokens".into()));
+        }
+        max_id = Some(max_id.unwrap_or(0).max(u).max(v));
+        edges.push((u, v));
+    }
+
+    let n = declared_n
+        .unwrap_or(0)
+        .max(max_id.map(|m| m + 1).unwrap_or(0));
+    let mut el = EdgeList::new(n);
+    if saw_weight {
+        for (&(u, v), &w) in edges.iter().zip(&weights) {
+            el.push_weighted(u, v, w);
+        }
+    } else {
+        for &(u, v) in &edges {
+            el.push(u, v);
+        }
+    }
+    Ok(el)
+}
+
+/// Write an edge list in the same format.
+pub fn write_edge_list<W: Write>(el: &EdgeList, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# vertices: {}", el.num_vertices())?;
+    match &el.weights {
+        Some(ws) => {
+            for (&(u, v), wt) in el.edges.iter().zip(ws) {
+                writeln!(w, "{u} {v} {wt}")?;
+            }
+        }
+        None => {
+            for &(u, v) in &el.edges {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unweighted() {
+        let text = "# a comment\n0 1\n1 2\n\n2 0\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.edges, vec![(0, 1), (1, 2), (2, 0)]);
+        assert!(el.weights.is_none());
+    }
+
+    #[test]
+    fn parses_weighted_and_header() {
+        let text = "# vertices: 10\n0 1 2.5\n1 2 0.5\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+        assert_eq!(el.weights.as_ref().unwrap(), &vec![2.5, 0.5]);
+    }
+
+    #[test]
+    fn rejects_mixed_weighting() {
+        assert!(read_edge_list("0 1 2.0\n1 2\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1\n1 2 2.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 2.0 extra\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrips() {
+        let mut el = EdgeList::from_weighted(4, &[(0, 1, 1.5), (2, 3, 2.25)]);
+        el.push_weighted(3, 0, 0.125);
+        let mut buf = Vec::new();
+        write_edge_list(&el, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        assert_eq!(back.edges, el.edges);
+        assert_eq!(back.weights, el.weights);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let el = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+#![warn(missing_docs)]
+
+//! # dgp-graph — the distributed graph substrate
+//!
+//! The paper's computational model (§III-A): "a distributed graph, where
+//! every node stores a portion of vertices and their outgoing edges. A
+//! bidirectional graph, where 'bidirectional' describes the storage model
+//! rather than a property of the graph, also stores incoming edges with a
+//! vertex." Graph *data* lives outside the structure, in **property maps**
+//! (§III-B) that associate vertices or edges with arbitrary values.
+//!
+//! This crate provides:
+//!
+//! * [`Distribution`] — vertex → owning-rank maps (block / cyclic), the
+//!   basis of AM++ object-based addressing;
+//! * [`DistGraph`] — a vertex-centric CSR shard per rank, with optional
+//!   bidirectional (in-edge) storage;
+//! * [`generators`] — RMAT/Kronecker (Graph500 parameters), Erdős–Rényi,
+//!   grids, paths, stars, trees, plus weight generators;
+//! * [`properties`] — vertex and edge property maps. Numeric maps are
+//!   lock-free ([`properties::AtomicVertexMap`]); arbitrary values get
+//!   per-vertex locking ([`properties::LockedVertexMap`]); and the
+//!   [`properties::LockMap`] abstraction reproduces §IV-B: "the lock map
+//!   abstraction allows to parameterize an algorithm by a locking scheme",
+//!   e.g. one lock per vertex vs. one per block of vertices;
+//! * [`io`] — plain-text edge-list reading/writing.
+//!
+//! ## Ownership discipline
+//!
+//! Although shards live in one address space (see `DESIGN.md` on the
+//! simulated machine), *"reading from and writing to property maps must be
+//! done at the nodes where the values are located"* (§IV). All shard and
+//! property accessors take the calling rank and `debug_assert` ownership,
+//! so algorithm code that compiles and passes tests here would port to a
+//! real distributed transport unchanged.
+
+pub mod analysis;
+pub mod csr;
+pub mod distribution;
+pub mod edgelist;
+pub mod generators;
+pub mod io;
+pub mod properties;
+
+pub use csr::Shard;
+pub use distribution::{Distribution, VertexId};
+pub use edgelist::EdgeList;
+pub use properties::{
+    AtomicValue, AtomicVertexMap, EdgeMap, LockGranularity, LockMap, LockedVertexMap,
+};
+
+use std::sync::Arc;
+
+/// A distributed directed graph: one CSR [`Shard`] per rank.
+///
+/// Construction happens once, globally (the simulation's stand-in for a
+/// parallel I/O + shuffle phase); afterwards each rank only touches its own
+/// shard through [`DistGraph::shard`].
+#[derive(Clone)]
+pub struct DistGraph {
+    dist: Distribution,
+    shards: Arc<Vec<Shard>>,
+    num_edges: u64,
+}
+
+impl DistGraph {
+    /// Build a distributed graph from an edge list.
+    ///
+    /// With `bidirectional = true`, each shard additionally stores the
+    /// incoming edges of its vertices (the paper's bidirectional *storage*
+    /// model, needed by patterns using the `in_edges` generator).
+    pub fn build(edges: &EdgeList, dist: Distribution, bidirectional: bool) -> DistGraph {
+        assert_eq!(dist.num_vertices(), edges.num_vertices());
+        let shards = (0..dist.ranks())
+            .map(|r| Shard::build(r, dist, edges, bidirectional))
+            .collect();
+        DistGraph {
+            dist,
+            shards: Arc::new(shards),
+            num_edges: edges.edges.len() as u64,
+        }
+    }
+
+    /// The vertex distribution.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Total vertices.
+    pub fn num_vertices(&self) -> u64 {
+        self.dist.num_vertices()
+    }
+
+    /// Total directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Number of ranks the graph is distributed over.
+    pub fn ranks(&self) -> usize {
+        self.dist.ranks()
+    }
+
+    /// The owning rank of vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.dist.owner(v)
+    }
+
+    /// Rank `rank`'s shard.
+    pub fn shard(&self, rank: usize) -> &Shard {
+        &self.shards[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_distributes() {
+        let el = EdgeList::from_pairs(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let g = DistGraph::build(&el, Distribution::block(6, 3), true);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.ranks(), 3);
+        // Every vertex has out-degree 1 and in-degree 1.
+        for r in 0..3 {
+            let sh = g.shard(r);
+            for li in 0..sh.num_local() {
+                assert_eq!(sh.out_degree(li), 1);
+                assert_eq!(sh.in_degree(li), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Edge property maps, co-located with the CSR shards.
+
+use std::sync::Arc;
+
+use crate::distribution::Distribution;
+use crate::DistGraph;
+
+/// A distributed edge property map.
+///
+/// Values are stored aligned with each rank's out-edge array (and, for
+/// bidirectional graphs, mirrored aligned with the in-edge array), so an
+/// edge's property is always readable at the rank that stores the edge —
+/// the co-location rule of §IV. Edge properties are read-mostly in the
+/// paper's patterns (weights); mutation happens at build time.
+#[derive(Clone)]
+pub struct EdgeMap<T> {
+    dist: Distribution,
+    out_values: Arc<Vec<Vec<T>>>,
+    in_values: Option<Arc<Vec<Vec<T>>>>,
+}
+
+impl<T: Clone + Send + Sync + 'static> EdgeMap<T> {
+    /// Build from one value per edge of the *original edge list* the graph
+    /// was constructed from (`values[i]` belongs to `edges.edges[i]`).
+    pub fn from_values(graph: &DistGraph, values: &[T]) -> Self {
+        assert_eq!(
+            values.len() as u64,
+            graph.num_edges(),
+            "one value per edge required"
+        );
+        let ranks = graph.ranks();
+        let mut out_values = Vec::with_capacity(ranks);
+        let mut in_values = Vec::with_capacity(ranks);
+        let mut any_bidir = false;
+        for r in 0..ranks {
+            let sh = graph.shard(r);
+            out_values.push(
+                (0..sh.num_out_edges())
+                    .map(|e| values[sh.out_edge_source_index(e)].clone())
+                    .collect(),
+            );
+            if sh.is_bidirectional() {
+                any_bidir = true;
+                in_values.push(
+                    (0..sh.num_in_edges())
+                        .map(|e| values[sh.in_edge_source_index(e)].clone())
+                        .collect(),
+                );
+            } else {
+                in_values.push(Vec::new());
+            }
+        }
+        EdgeMap {
+            dist: graph.distribution(),
+            out_values: Arc::new(out_values),
+            in_values: any_bidir.then(|| Arc::new(in_values)),
+        }
+    }
+
+    /// A map with every edge's value `init`.
+    pub fn uniform(graph: &DistGraph, init: T) -> Self {
+        let values: Vec<T> = (0..graph.num_edges()).map(|_| init.clone()).collect();
+        EdgeMap::from_values(graph, &values)
+    }
+
+    /// The distribution this map is sharded by.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Value of `rank`'s out-edge `e` (the index yielded by
+    /// [`crate::Shard::out_edges`]).
+    #[inline]
+    pub fn get_out(&self, rank: usize, e: usize) -> T {
+        self.out_values[rank][e].clone()
+    }
+
+    /// Value of `rank`'s in-edge `e` (the index yielded by
+    /// [`crate::Shard::in_edges`]). Panics if the graph was not built
+    /// bidirectional.
+    #[inline]
+    pub fn get_in(&self, rank: usize, e: usize) -> T {
+        self.in_values.as_ref().expect("graph built bidirectional")[rank][e].clone()
+    }
+}
+
+impl EdgeMap<f64> {
+    /// Build the weight map from the edge list the graph came from
+    /// (requires `el.weights`).
+    pub fn from_weights(graph: &DistGraph, el: &crate::EdgeList) -> Self {
+        let ws = el
+            .weights
+            .as_ref()
+            .expect("edge list carries weights");
+        EdgeMap::from_values(graph, ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distribution, EdgeList};
+
+    #[test]
+    fn weights_follow_edges_across_distributions() {
+        let el = EdgeList::from_weighted(
+            4,
+            &[(0, 1, 0.1), (0, 2, 0.2), (1, 3, 1.3), (2, 3, 2.3), (3, 0, 3.0)],
+        );
+        for dist in [Distribution::block(4, 2), Distribution::cyclic(4, 3)] {
+            let g = DistGraph::build(&el, dist, true);
+            let w = EdgeMap::from_weights(&g, &el);
+            for r in 0..g.ranks() {
+                let sh = g.shard(r);
+                for li in 0..sh.num_local() {
+                    let u = sh.global_of(li);
+                    for (e, v) in sh.out_edges(li) {
+                        let expect = el
+                            .weights
+                            .as_ref()
+                            .unwrap()
+                            [el.edges.iter().position(|&p| p == (u, v)).unwrap()];
+                        assert_eq!(w.get_out(r, e), expect, "out ({u},{v})");
+                    }
+                    for (e, s) in sh.in_edges(li) {
+                        let expect = el
+                            .weights
+                            .as_ref()
+                            .unwrap()
+                            [el.edges.iter().position(|&p| p == (s, u)).unwrap()];
+                        assert_eq!(w.get_in(r, e), expect, "in ({s},{u})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_fills_everything() {
+        let el = EdgeList::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]);
+        let g = DistGraph::build(&el, Distribution::block(3, 2), false);
+        let m = EdgeMap::uniform(&g, 7u32);
+        for r in 0..2 {
+            for e in 0..g.shard(r).num_out_edges() {
+                assert_eq!(m.get_out(r, e), 7);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per edge")]
+    fn wrong_arity_rejected() {
+        let el = EdgeList::from_pairs(3, &[(0, 1), (1, 2)]);
+        let g = DistGraph::build(&el, Distribution::block(3, 1), false);
+        EdgeMap::from_values(&g, &[1u8]);
+    }
+}

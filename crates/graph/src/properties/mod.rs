@@ -1,0 +1,30 @@
+//! Property maps: "the fundamental idea behind our approach. A property map
+//! associates vertices or edges with arbitrary values, including vertices
+//! and edges" (§III-B).
+//!
+//! Three families are provided, mirroring §IV-B's synchronization story —
+//! "synchronization is performed by atomic instructions where supported...
+//! we revert to locking when they are not":
+//!
+//! * [`AtomicVertexMap`] — vertex maps over machine-word values
+//!   ([`AtomicValue`]), accessed with lock-free atomics (including the
+//!   `fetch_min` shape SSSP needs);
+//! * [`LockedVertexMap`] — vertex maps over arbitrary values (sets, vectors,
+//!   tuples), each value behind its own lock;
+//! * [`EdgeMap`] — edge values co-located with the owning rank's CSR shard
+//!   (both out- and in-aligned copies for bidirectional graphs).
+//!
+//! [`LockMap`] reproduces the paper's lock-map abstraction: a pluggable
+//! locking *scheme* (one lock per vertex, per block, or striped) used by the
+//! pattern engine when a condition + modification must be evaluated
+//! atomically at one vertex; experiment E5 compares schemes.
+
+mod atomic;
+mod edge;
+mod lock_map;
+mod locked;
+
+pub use atomic::{AtomicValue, AtomicVertexMap, UpdateOutcome};
+pub use edge::EdgeMap;
+pub use lock_map::{LockGranularity, LockMap};
+pub use locked::LockedVertexMap;

@@ -1,0 +1,76 @@
+//! Social-network component analysis: the workload the paper's intro
+//! motivates ("social network analysis... at HPC scales"), scaled to a
+//! laptop: an RMAT (Graph500-parameter) graph, distributed CC by parallel
+//! search, component statistics, and a cross-check against the
+//! hand-written min-label-propagation baseline.
+//!
+//! Run with: `cargo run --release --example social_components [scale]`
+
+use std::collections::HashMap;
+
+use dgp::prelude::*;
+use dgp_algorithms::handwritten;
+use dgp_core::engine::EngineConfig;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let ranks = 4;
+
+    // Build a Graph500-style social graph and make it undirected.
+    let mut el = generators::rmat(scale, 8, generators::RmatParams::GRAPH500, 42);
+    el.simplify();
+    el.symmetrize();
+    println!(
+        "RMAT scale {scale}: {} vertices, {} directed edges, {ranks} ranks",
+        el.num_vertices(),
+        el.num_edges()
+    );
+
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), ranks), false);
+
+    let started = std::time::Instant::now();
+    let (labels, lp_labels, am_stats) = {
+        let graph = graph.clone();
+        let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+            // Patterns: parallel search CC.
+            let cc = dgp_algorithms::cc::Cc::install(ctx, &graph, EngineConfig::default());
+            cc.run(ctx);
+            // Hand-written baseline: min-label propagation.
+            let lp = handwritten::cc_label_propagation(ctx, &graph);
+            (ctx.rank() == 0).then(|| (cc.comp.snapshot(), lp.snapshot(), ctx.stats()))
+        });
+        out[0].take().unwrap()
+    };
+    println!("both CC algorithms ran in {:?}", started.elapsed());
+    println!(
+        "machine totals: {} messages in {} envelopes (coalescing factor {:.1})",
+        am_stats.messages_sent,
+        am_stats.envelopes_sent,
+        am_stats.coalescing_factor()
+    );
+
+    assert_eq!(labels, lp_labels, "parallel search and label propagation agree");
+
+    // Component statistics.
+    let mut sizes: HashMap<u64, usize> = HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_default() += 1;
+    }
+    let mut by_size: Vec<usize> = sizes.values().copied().collect();
+    by_size.sort_unstable_by(|a, b| b.cmp(a));
+    println!("\ncomponents: {}", sizes.len());
+    println!(
+        "largest component: {} vertices ({:.1}% of the graph)",
+        by_size[0],
+        100.0 * by_size[0] as f64 / labels.len() as f64
+    );
+    let singletons = by_size.iter().filter(|&&s| s == 1).count();
+    println!("singletons: {singletons}");
+    println!(
+        "top component sizes: {:?}",
+        &by_size[..by_size.len().min(8)]
+    );
+}

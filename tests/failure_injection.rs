@@ -1,0 +1,127 @@
+//! Failure injection: panics anywhere in the machine must propagate
+//! instead of deadlocking, and API misuse must be caught loudly.
+
+use dgp::prelude::*;
+
+/// A panic in a message handler reaches the caller (and does not hang the
+/// other ranks in their epoch barriers).
+#[test]
+fn handler_panic_propagates() {
+    let result = std::panic::catch_unwind(|| {
+        Machine::run(MachineConfig::new(4), |ctx| {
+            let mt = ctx.register(|_ctx, x: u32| {
+                assert!(x < 3, "injected handler failure");
+            });
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for x in 0..10u32 {
+                        mt.send(ctx, (x as usize) % ctx.num_ranks(), x);
+                    }
+                }
+            });
+        });
+    });
+    assert!(result.is_err(), "panic must propagate out of Machine::run");
+}
+
+/// A panic in one rank's program poisons the collectives so other ranks
+/// fail fast rather than waiting forever.
+#[test]
+fn rank_panic_poisons_collectives() {
+    let result = std::panic::catch_unwind(|| {
+        Machine::run(MachineConfig::new(3), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected rank failure");
+            }
+            // Other ranks head into a barrier that can never complete.
+            ctx.barrier();
+        });
+    });
+    assert!(result.is_err());
+}
+
+/// Epochs must not nest.
+#[test]
+fn nested_epoch_rejected() {
+    let result = std::panic::catch_unwind(|| {
+        Machine::run(MachineConfig::new(1), |ctx| {
+            ctx.epoch(|ctx| ctx.epoch(|_| {}));
+        });
+    });
+    assert!(result.is_err());
+}
+
+/// Registering more reads than the payload supports is reported at
+/// registration, not by corrupting messages.
+#[test]
+fn too_many_slots_rejected() {
+    Machine::run(MachineConfig::new(1), |ctx| {
+        let el = EdgeList::from_pairs(2, &[(0, 1)]);
+        let graph = DistGraph::build(&el, Distribution::block(2, 1), false);
+        let engine = PatternEngine::new(ctx, graph, EngineConfig::default());
+        let mut b = ActionBuilder::new("wide", GeneratorIr::None);
+        let mut slots = Vec::new();
+        for m in 0..9u32 {
+            slots.push(b.read_vertex(m, Place::Input));
+        }
+        let s0 = slots[0];
+        b.cond(&slots, move |e| e.u64(s0) == 0)
+            .assign(0, Place::Input, &[], |_, _| Val::U(1));
+        let built = b.build().unwrap();
+        let err = engine.add_action(built).unwrap_err();
+        assert!(err.contains("at most"), "{err}");
+    });
+}
+
+/// A pattern using `p[x]` as a locality without declaring the read of
+/// `p` at `x` is rejected at compile time with a pointed message.
+#[test]
+fn undeclared_resolution_read_rejected() {
+    Machine::run(MachineConfig::new(1), |ctx| {
+        let el = EdgeList::from_pairs(2, &[(0, 1)]);
+        let graph = DistGraph::build(&el, Distribution::block(2, 1), false);
+        let engine = PatternEngine::new(ctx, graph, EngineConfig::default());
+        let mut b = ActionBuilder::new("bad", GeneratorIr::None);
+        // Read lbl[pnt[v]] without declaring the read of pnt[v].
+        let s = b.read_vertex(1, Place::map_at(0, Place::Input));
+        b.cond(&[s], move |e| e.u64(s) == 0)
+            .assign(1, Place::Input, &[], |_, _| Val::U(1));
+        let built = b.build().unwrap();
+        let err = engine.add_action(built).unwrap_err();
+        assert!(err.contains("declared"), "{err}");
+    });
+}
+
+/// Sending to a nonexistent rank is caught.
+#[test]
+fn bad_destination_rejected() {
+    let result = std::panic::catch_unwind(|| {
+        Machine::run(MachineConfig::new(2), |ctx| {
+            let mt = ctx.register(|_ctx, _x: u8| {});
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    mt.send(ctx, 7, 1);
+                }
+            });
+        });
+    });
+    assert!(result.is_err());
+}
+
+/// Weighted/unweighted edge mixing is rejected by the edge list.
+#[test]
+fn edge_list_weight_mixing_rejected() {
+    let result = std::panic::catch_unwind(|| {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push_weighted(1, 2, 1.0);
+    });
+    assert!(result.is_err());
+}
+
+/// A machine with workers shuts down cleanly even when no epochs run.
+#[test]
+fn idle_workers_shut_down() {
+    let out = Machine::run(MachineConfig::new(2).threads_per_rank(4), |ctx| ctx.rank());
+    assert_eq!(out, vec![0, 1]);
+}

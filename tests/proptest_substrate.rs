@@ -1,0 +1,224 @@
+//! Property-based validation of the substrates: distributions, shards,
+//! property maps, planner invariants, and runtime accounting.
+
+use proptest::prelude::*;
+
+use dgp::prelude::*;
+use dgp_core::depgraph::DepTree;
+use dgp_core::ir::{ActionIr, ConditionIr, GeneratorIr, ModificationIr, ReadRef, Slot};
+use dgp_core::plan::compile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distribution round-trips: owner/local/global are mutually inverse
+    /// and counts partition the vertex set.
+    #[test]
+    fn distributions_roundtrip(n in 1u64..500, ranks in 1usize..9, cyclic in any::<bool>()) {
+        let d = if cyclic {
+            Distribution::cyclic(n, ranks)
+        } else {
+            Distribution::block(n, ranks)
+        };
+        let mut seen = 0u64;
+        for r in 0..ranks {
+            for li in 0..d.local_count(r) {
+                let v = d.global(r, li);
+                prop_assert_eq!(d.owner(v), r);
+                prop_assert_eq!(d.local(v), li);
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, n);
+    }
+
+    /// Shards partition the edges: every edge appears in exactly one
+    /// shard's out-list (and one in-list when bidirectional), with
+    /// recoverable original indices.
+    #[test]
+    fn shards_partition_edges(
+        n in 2u64..60,
+        edges in proptest::collection::vec((0u64..60, 0u64..60), 0..200),
+        ranks in 1usize..5,
+    ) {
+        let pairs: Vec<_> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let el = EdgeList::from_pairs(n, &pairs);
+        let g = DistGraph::build(&el, Distribution::cyclic(n, ranks), true);
+        let mut out_seen = vec![false; el.num_edges()];
+        let mut in_seen = vec![false; el.num_edges()];
+        for r in 0..ranks {
+            let sh = g.shard(r);
+            for li in 0..sh.num_local() {
+                let u = sh.global_of(li);
+                for (e, v) in sh.out_edges(li) {
+                    let orig = sh.out_edge_source_index(e);
+                    prop_assert_eq!(el.edges[orig], (u, v));
+                    prop_assert!(!out_seen[orig], "edge listed twice");
+                    out_seen[orig] = true;
+                }
+                for (e, s) in sh.in_edges(li) {
+                    let orig = sh.in_edge_source_index(e);
+                    prop_assert_eq!(el.edges[orig], (s, u));
+                    prop_assert!(!in_seen[orig]);
+                    in_seen[orig] = true;
+                }
+            }
+        }
+        prop_assert!(out_seen.iter().all(|&b| b));
+        prop_assert!(in_seen.iter().all(|&b| b));
+    }
+
+    /// Atomic map fetch_min over arbitrary interleavings equals the plain
+    /// minimum.
+    #[test]
+    fn fetch_min_is_min(values in proptest::collection::vec(0u64..1000, 1..64)) {
+        let d = Distribution::block(1, 1);
+        let m = AtomicVertexMap::new(d, u64::MAX);
+        std::thread::scope(|s| {
+            for chunk in values.chunks(8) {
+                let m = m.clone();
+                let chunk = chunk.to_vec();
+                s.spawn(move || {
+                    for v in chunk {
+                        m.fetch_min(0, 0, v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(m.get(0, 0), *values.iter().min().unwrap());
+    }
+
+    /// Dependency trees: the optimized order always visits a locality
+    /// after the locality that resolves it, and never exceeds the faithful
+    /// walk's message count.
+    #[test]
+    fn dep_tree_orders_and_counts(depth_a in 1usize..5, depth_b in 1usize..5) {
+        let chain = |base: u32, depth: usize| {
+            let mut p = Place::Input;
+            let mut all = Vec::new();
+            for i in 0..depth {
+                p = Place::map_at(base + i as u32, p);
+                all.push(p.clone());
+            }
+            all
+        };
+        let mut places = chain(0, depth_a);
+        places.extend(chain(100, depth_b));
+        let tree = DepTree::build(&places);
+        let order = tree.optimized_order();
+        // Parent-before-child in visit order.
+        for (pos, &node) in order.iter().enumerate() {
+            let parent = tree.parent[node];
+            if parent != 0 {
+                let ppos = order.iter().position(|&x| x == parent).unwrap();
+                prop_assert!(ppos < pos, "parent visited first");
+            }
+        }
+        prop_assert!(tree.optimized_message_count() <= tree.faithful_message_count());
+        // Two independent chains: faithful pays one return per non-final
+        // branch switch.
+        prop_assert_eq!(tree.optimized_message_count(), depth_a + depth_b);
+        prop_assert_eq!(tree.faithful_message_count(), 2 * depth_a + depth_b);
+    }
+
+    /// Every structurally valid single-condition action compiles, and its
+    /// plan gathers each needed slot exactly once before evaluation.
+    #[test]
+    fn plans_gather_every_slot(
+        n_inputs in 1usize..3,
+        read_trg in any::<bool>(),
+        read_edge in any::<bool>(),
+    ) {
+        let mut slots = Vec::new();
+        for i in 0..n_inputs {
+            slots.push(ReadRef::VertexProp { map: i as u32, at: Place::Input });
+        }
+        if read_trg {
+            slots.push(ReadRef::VertexProp { map: 50, at: Place::GenTrg });
+        }
+        if read_edge {
+            slots.push(ReadRef::EdgeProp { map: 60 });
+        }
+        let nslots = slots.len();
+        let ir = ActionIr {
+            name: "gen".into(),
+            generator: GeneratorIr::OutEdges,
+            slots,
+            conditions: vec![ConditionIr {
+                reads: (0..nslots).map(Slot).collect(),
+                mods: vec![ModificationIr {
+                    map: 99,
+                    at: Place::GenTrg,
+                    reads: vec![Slot(0)],
+                }],
+                is_else: false,
+            }],
+        };
+        let plan = compile(&ir, PlanMode::Optimized).unwrap();
+        // The modified map (99) is never read: no dependency.
+        prop_assert_eq!(ir.dependency_matrix(), vec![vec![false]]);
+        // Structural check: every slot appears in some Gather or fresh-read
+        // list before End.
+        let mut gathered = vec![false; nslots];
+        for step in &plan.steps {
+            match step {
+                dgp_core::plan::ExecStep::Gather { slots, .. } => {
+                    for &s in slots { gathered[s] = true; }
+                }
+                dgp_core::plan::ExecStep::Eval { local_slots, .. }
+                | dgp_core::plan::ExecStep::EvalModify { local_slots, .. } => {
+                    for &s in local_slots { gathered[s] = true; }
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(gathered.iter().all(|&g| g), "{plan}");
+    }
+
+    /// AM accounting: messages sent == messages handled after every run,
+    /// regardless of fan-out shape.
+    #[test]
+    fn am_accounting_balances(
+        ranks in 1usize..5,
+        chains in 1u64..20,
+        hops in 0u64..30,
+    ) {
+        let out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+            let mt = ctx.register(move |ctx, left: u64| {
+                if left > 0 {
+                    let next = (ctx.rank() + 1) % ctx.num_ranks();
+                    ctx.send(next, left - 1);
+                }
+            });
+            ctx.epoch(|ctx| {
+                for c in 0..chains {
+                    mt.send(ctx, (ctx.rank() + c as usize) % ctx.num_ranks(), hops);
+                }
+            });
+            ctx.stats()
+        });
+        let s = out[0];
+        prop_assert_eq!(s.messages_sent, s.messages_handled);
+        prop_assert_eq!(s.messages_sent, ranks as u64 * chains * (hops + 1));
+    }
+
+    /// Edge list symmetrize + simplify properties.
+    #[test]
+    fn edgelist_ops(
+        n in 1u64..40,
+        pairs in proptest::collection::vec((0u64..40, 0u64..40), 0..120),
+    ) {
+        let pairs: Vec<_> = pairs.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let mut el = EdgeList::from_pairs(n, &pairs);
+        el.symmetrize();
+        prop_assert_eq!(el.num_edges(), pairs.len() * 2);
+        el.simplify();
+        // Simple: no loops, no duplicates, and symmetric.
+        let set: std::collections::HashSet<_> = el.edges.iter().copied().collect();
+        prop_assert_eq!(set.len(), el.num_edges());
+        for &(u, v) in &el.edges {
+            prop_assert!(u != v);
+            prop_assert!(set.contains(&(v, u)), "symmetric after symmetrize+simplify");
+        }
+    }
+}
