@@ -3,7 +3,7 @@
 //! for fine-grained control (strategies, engine configs, statistics) use
 //! the per-algorithm modules inside your own [`dgp_am::Machine::run`].
 
-use dgp_am::{Machine, MachineConfig};
+use dgp_am::{EpochProfile, Machine, MachineConfig};
 use dgp_graph::properties::EdgeMap;
 use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
 
@@ -11,18 +11,33 @@ use crate::sssp::SsspStrategy;
 
 /// Distributed SSSP over `ranks` simulated ranks. The edge list must be
 /// weighted. Returns the distance vector in vertex order.
-pub fn run_sssp(
-    el: &EdgeList,
-    ranks: usize,
-    source: VertexId,
-    strategy: SsspStrategy,
-) -> Vec<f64> {
+pub fn run_sssp(el: &EdgeList, ranks: usize, source: VertexId, strategy: SsspStrategy) -> Vec<f64> {
     let dist = Distribution::block(el.num_vertices(), ranks);
     let graph = DistGraph::build(el, dist, false);
     let weights = EdgeMap::from_weights(&graph, el);
     let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
         let d = crate::sssp::sssp(ctx, &graph, &weights, source, strategy);
         (ctx.rank() == 0).then(|| d.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// [`run_sssp`] plus the runtime's per-epoch profiles (`dgp-am::obs`):
+/// one [`EpochProfile`] per machine-wide epoch, in order, carrying the
+/// wall time and counter deltas of that epoch. Use it to see where a
+/// strategy spends its messages without touching the machine API.
+pub fn run_sssp_profiled(
+    el: &EdgeList,
+    ranks: usize,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> (Vec<f64>, Vec<EpochProfile>) {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let d = crate::sssp::sssp(ctx, &graph, &weights, source, strategy);
+        (ctx.rank() == 0).then(|| (d.snapshot(), ctx.epoch_profiles()))
     });
     out[0].take().expect("rank 0 reports")
 }

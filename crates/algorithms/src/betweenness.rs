@@ -63,11 +63,7 @@ fn delta_pull(level: MapId, sigma: MapId, delta: MapId) -> dgp_core::builder::Bu
 /// Betweenness centrality accumulated over the given sources (pass all
 /// vertices for exact BC; a sample for approximate BC). Unweighted,
 /// directed; endpoints excluded, as in Brandes. Collective.
-pub fn betweenness(
-    ctx: &AmCtx,
-    graph: &DistGraph,
-    sources: &[VertexId],
-) -> AtomicVertexMap<f64> {
+pub fn betweenness(ctx: &AmCtx, graph: &DistGraph, sources: &[VertexId]) -> AtomicVertexMap<f64> {
     let rank = ctx.rank();
     let dist0 = graph.distribution();
     let level = ctx.share(|| AtomicVertexMap::new(dist0, u64::MAX));
@@ -203,7 +199,10 @@ mod tests {
 
     fn assert_close(got: &[f64], want: &[f64]) {
         for (i, (a, b)) in got.iter().zip(want).enumerate() {
-            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "vertex {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "vertex {i}: {a} vs {b}"
+            );
         }
     }
 

@@ -124,11 +124,7 @@ impl Cc {
                 // The claim must be atomic: a remote search's handler may
                 // claim v concurrently (the paper's `pnt[v] == NULL` test
                 // + assignment, under the vertex's synchronization).
-                if self
-                    .pnt
-                    .compare_exchange(rank, v, None, Some(v))
-                    .is_ok()
-                {
+                if self.pnt.compare_exchange(rank, v, None, Some(v)).is_ok() {
                     self.engine.run_at(ctx, search_action, v);
                     ctx.epoch_flush();
                 }

@@ -26,16 +26,19 @@ pub fn sssp(
     let rank = ctx.rank();
     let dist = ctx.share(|| AtomicVertexMap::new(graph.distribution(), f64::INFINITY));
     let (g, w, d) = (graph.clone(), weights.clone(), dist.clone());
-    let mt = ctx.register_named("hand-sssp-relax", move |hctx, (v, cand): (VertexId, f64)| {
-        let me = hctx.rank();
-        if d.fetch_min(me, v, cand).changed {
-            let sh = g.shard(me);
-            let li = sh.local_of(v);
-            for (e, trg) in sh.out_edges(li) {
-                hctx.send(g.owner(trg), (trg, cand + w.get_out(me, e)));
+    let mt = ctx.register_named(
+        "hand-sssp-relax",
+        move |hctx, (v, cand): (VertexId, f64)| {
+            let me = hctx.rank();
+            if d.fetch_min(me, v, cand).changed {
+                let sh = g.shard(me);
+                let li = sh.local_of(v);
+                for (e, trg) in sh.out_edges(li) {
+                    hctx.send(g.owner(trg), (trg, cand + w.get_out(me, e)));
+                }
             }
-        }
-    });
+        },
+    );
     ctx.epoch(|ctx| {
         if graph.owner(source) == rank {
             mt.send(ctx, rank, (source, 0.0));
@@ -207,14 +210,15 @@ mod tests {
             let before = ctx.stats();
             let cached = bfs_cached(ctx, &graph, 0, 4096);
             let after = ctx.stats();
-            (ctx.rank() == 0).then(|| {
-                (plain.snapshot(), cached.snapshot(), after.since(&before))
-            })
+            (ctx.rank() == 0).then(|| (plain.snapshot(), cached.snapshot(), after.since(&before)))
         });
         let (plain, cached, stats) = out[0].take().unwrap();
         assert_eq!(plain, want);
         assert_eq!(cached, want);
-        assert!(stats.cache_hits > 0, "duplicates were eliminated: {stats:?}");
+        assert!(
+            stats.cache_hits > 0,
+            "duplicates were eliminated: {stats:?}"
+        );
     }
 
     #[test]

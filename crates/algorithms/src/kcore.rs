@@ -24,23 +24,17 @@ use crate::util::local_vertices;
 fn count_active(active: u32, acc: u32) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("count_active", GeneratorIr::OutEdges);
     let a_v = b.read_vertex(active, Place::Input);
-    b.cond(&[a_v], move |e| e.bool(a_v)).assign(
-        acc,
-        Place::GenTrg,
-        &[],
-        move |_, old| Val::U(old.as_u64() + 1),
-    );
+    b.cond(&[a_v], move |e| e.bool(a_v))
+        .assign(acc, Place::GenTrg, &[], move |_, old| {
+            Val::U(old.as_u64() + 1)
+        });
     b.build().expect("count_active is a valid action")
 }
 
 /// Compute the k-core membership mask (`true` = in the k-core). The graph
 /// must be a symmetric representation. Collective; returns the number of
 /// peeling rounds.
-pub fn kcore(
-    ctx: &AmCtx,
-    graph: &DistGraph,
-    k: u64,
-) -> (AtomicVertexMap<bool>, usize) {
+pub fn kcore(ctx: &AmCtx, graph: &DistGraph, k: u64) -> (AtomicVertexMap<bool>, usize) {
     let rank = ctx.rank();
     let active = ctx.share(|| AtomicVertexMap::new(graph.distribution(), true));
     let acc = ctx.share(|| AtomicVertexMap::new(graph.distribution(), 0u64));

@@ -33,5 +33,7 @@ pub mod seq;
 pub mod sssp;
 pub mod util;
 
-pub use api::{run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp};
+pub use api::{
+    run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp, run_sssp_profiled,
+};
 pub use sssp::SsspStrategy;

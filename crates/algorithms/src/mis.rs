@@ -28,8 +28,7 @@ fn flag_blocked(state: MapId, prio: MapId, blocked: MapId) -> dgp_core::builder:
     let p_u = b.read_vertex(prio, Place::GenVertex);
     let p_v = b.read_vertex(prio, Place::Input);
     b.cond(&[s_u, p_u, p_v], move |e| {
-        e.u64(s_u) == UNDECIDED
-            && (e.u64(p_u), e.gen_vertex()) > (e.u64(p_v), e.input())
+        e.u64(s_u) == UNDECIDED && (e.u64(p_u), e.gen_vertex()) > (e.u64(p_v), e.input())
     })
     .assign(blocked, Place::Input, &[], move |_, _| Val::B(true));
     b.build().expect("mis_flag_blocked is a valid action")
@@ -39,12 +38,8 @@ fn flag_blocked(state: MapId, prio: MapId, blocked: MapId) -> dgp_core::builder:
 fn flag_excluded(state: MapId, excluded: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("mis_flag_excluded", GeneratorIr::Adj);
     let s_u = b.read_vertex(state, Place::GenVertex);
-    b.cond(&[s_u], move |e| e.u64(s_u) == IN).assign(
-        excluded,
-        Place::Input,
-        &[],
-        move |_, _| Val::B(true),
-    );
+    b.cond(&[s_u], move |e| e.u64(s_u) == IN)
+        .assign(excluded, Place::Input, &[], move |_, _| Val::B(true));
     b.build().expect("mis_flag_excluded is a valid action")
 }
 
@@ -157,7 +152,10 @@ mod tests {
         let el = generators::grid2d(10, 10);
         let (mask, rounds) = run(&el, 3, 1);
         let size = validate_mis(&el, &mask).unwrap();
-        assert!(size >= 25, "a 10x10 grid MIS has at least 25 vertices, got {size}");
+        assert!(
+            size >= 25,
+            "a 10x10 grid MIS has at least 25 vertices, got {size}"
+        );
         assert!(rounds <= 20, "Luby converges quickly, took {rounds}");
     }
 
@@ -165,7 +163,11 @@ mod tests {
     fn clique_mis_is_singleton() {
         let el = generators::disjoint_cliques(3, 6);
         let (mask, _) = run(&el, 2, 5);
-        assert_eq!(validate_mis(&el, &mask).unwrap(), 3, "one member per clique");
+        assert_eq!(
+            validate_mis(&el, &mask).unwrap(),
+            3,
+            "one member per clique"
+        );
     }
 
     #[test]

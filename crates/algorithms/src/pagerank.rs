@@ -82,11 +82,8 @@ impl PageRank {
             // Local support program: fold the accumulator into the ranks.
             for &v in &locals {
                 let sum = self.acc.get(rank_id, v) + dangling / n;
-                self.rank.set(
-                    rank_id,
-                    v,
-                    (1.0 - self.damping) / n + self.damping * sum,
-                );
+                self.rank
+                    .set(rank_id, v, (1.0 - self.damping) / n + self.damping * sum);
                 self.acc.set(rank_id, v, 0.0);
             }
             ctx.barrier();

@@ -139,10 +139,7 @@ pub fn cc_rewrite(pnt: MapId, lbl: MapId, comp: MapId) -> dgp_core::builder::Bui
 /// (the storage-split optimization the paper's C++ implementation applies
 /// by partitioning the CSR).
 pub fn relax_light(dist: MapId, weight: MapId, delta: f64) -> dgp_core::builder::BuiltAction {
-    let mut b = ActionBuilder::new(
-        "relax_light",
-        GeneratorIr::out_edges_light(weight, delta),
-    );
+    let mut b = ActionBuilder::new("relax_light", GeneratorIr::out_edges_light(weight, delta));
     let d_trg = b.read_vertex(dist, Place::GenTrg);
     let d_v = b.read_vertex(dist, Place::Input);
     let w_e = b.read_edge(weight);
@@ -158,10 +155,7 @@ pub fn relax_light(dist: MapId, weight: MapId, delta: f64) -> dgp_core::builder:
 /// The heavy half of the split relax: only edges with weight > Δ, applied
 /// once per settled vertex (their targets always land in later buckets).
 pub fn relax_heavy(dist: MapId, weight: MapId, delta: f64) -> dgp_core::builder::BuiltAction {
-    let mut b = ActionBuilder::new(
-        "relax_heavy",
-        GeneratorIr::out_edges_heavy(weight, delta),
-    );
+    let mut b = ActionBuilder::new("relax_heavy", GeneratorIr::out_edges_heavy(weight, delta));
     let d_trg = b.read_vertex(dist, Place::GenTrg);
     let d_v = b.read_vertex(dist, Place::Input);
     let w_e = b.read_edge(weight);
@@ -206,11 +200,7 @@ pub fn relax_with_parent(
 /// "The preds (predecessors) property map stores a set of vertices, and a
 /// modification requires using the set interface... it is safe to call
 /// the insert function on the set of vertices" (the insert is atomic).
-pub fn record_preds(
-    dist: MapId,
-    weight: MapId,
-    preds: MapId,
-) -> dgp_core::builder::BuiltAction {
+pub fn record_preds(dist: MapId, weight: MapId, preds: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("record_preds", GeneratorIr::OutEdges);
     let d_trg = b.read_vertex(dist, Place::GenTrg);
     let d_v = b.read_vertex(dist, Place::Input);
@@ -240,10 +230,12 @@ pub fn pr_contribute(rank: MapId, deg: MapId, acc: MapId) -> dgp_core::builder::
     let mut b = ActionBuilder::new("pr_contribute", GeneratorIr::OutEdges);
     let r_v = b.read_vertex(rank, Place::Input);
     let d_v = b.read_vertex(deg, Place::Input);
-    b.cond(&[r_v, d_v], move |e| e.u64(d_v) > 0)
-        .assign(acc, Place::GenTrg, &[r_v, d_v], move |e, old| {
-            Val::F(old.as_f64() + e.f64(r_v) / e.u64(d_v) as f64)
-        });
+    b.cond(&[r_v, d_v], move |e| e.u64(d_v) > 0).assign(
+        acc,
+        Place::GenTrg,
+        &[r_v, d_v],
+        move |e, old| Val::F(old.as_f64() + e.f64(r_v) / e.u64(d_v) as f64),
+    );
     b.build().expect("pr_contribute is a valid action")
 }
 
@@ -259,10 +251,12 @@ pub fn pr_pull(rank: MapId, deg: MapId, acc: MapId) -> dgp_core::builder::BuiltA
     let mut b = ActionBuilder::new("pr_pull", GeneratorIr::InEdges);
     let r_s = b.read_vertex(rank, Place::GenSrc);
     let d_s = b.read_vertex(deg, Place::GenSrc);
-    b.cond(&[r_s, d_s], move |e| e.u64(d_s) > 0)
-        .assign(acc, Place::Input, &[r_s, d_s], move |e, old| {
-            Val::F(old.as_f64() + e.f64(r_s) / e.u64(d_s) as f64)
-        });
+    b.cond(&[r_s, d_s], move |e| e.u64(d_s) > 0).assign(
+        acc,
+        Place::Input,
+        &[r_s, d_s],
+        move |e, old| Val::F(old.as_f64() + e.f64(r_s) / e.u64(d_s) as f64),
+    );
     b.build().expect("pr_pull is a valid action")
 }
 
@@ -294,7 +288,10 @@ mod tests {
         assert!(a.ir.conditions[1].is_else);
         // Claim modifies+reads pnt -> dependency; conflict inserts into
         // adjs (never read as a slot) -> no dependency.
-        assert_eq!(a.ir.dependency_matrix(), vec![vec![true], vec![false, false]]);
+        assert_eq!(
+            a.ir.dependency_matrix(),
+            vec![vec![true], vec![false, false]]
+        );
         let p = compile(&a.ir, PlanMode::Optimized).unwrap();
         // Claim is merged at u; conflict's first group merged at pnt[u].
         assert_eq!(p.merged, vec![true, true]);
@@ -322,11 +319,17 @@ mod tests {
         let heavy = relax_heavy(0, 1, 0.5);
         assert!(matches!(
             light.ir.generator,
-            GeneratorIr::OutEdgesFiltered { keep_light: true, .. }
+            GeneratorIr::OutEdgesFiltered {
+                keep_light: true,
+                ..
+            }
         ));
         assert!(matches!(
             heavy.ir.generator,
-            GeneratorIr::OutEdgesFiltered { keep_light: false, .. }
+            GeneratorIr::OutEdgesFiltered {
+                keep_light: false,
+                ..
+            }
         ));
         // Still the one-message merged plan.
         for a in [&light, &heavy] {
@@ -334,7 +337,11 @@ mod tests {
             assert_eq!(p.comm_plan().messages, 1);
         }
         // The rendering mentions the filter.
-        assert!(format!("{}", light.ir).contains("where p1[e] <= 0.5"), "{}", light.ir);
+        assert!(
+            format!("{}", light.ir).contains("where p1[e] <= 0.5"),
+            "{}",
+            light.ir
+        );
     }
 
     #[test]

@@ -173,7 +173,13 @@ mod tests {
     fn weighted_diamond() -> EdgeList {
         EdgeList::from_weighted(
             4,
-            &[(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0), (1, 3, 6.0), (2, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 4.0),
+                (1, 2, 2.0),
+                (1, 3, 6.0),
+                (2, 3, 1.0),
+            ],
         )
     }
 

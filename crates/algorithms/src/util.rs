@@ -33,7 +33,7 @@ pub fn owned_seeds(ctx: &AmCtx, graph: &DistGraph, seeds: &[VertexId]) -> Vec<Ve
 mod tests {
     use super::*;
     use dgp_am::{Machine, MachineConfig};
-    use dgp_graph::{Distribution, DistGraph, EdgeList};
+    use dgp_graph::{DistGraph, Distribution, EdgeList};
 
     #[test]
     fn f64_sum_across_ranks() {

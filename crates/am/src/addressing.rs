@@ -64,8 +64,7 @@ mod tests {
 
     #[test]
     fn send_addressed_routes_by_payload() {
-        let per_rank: Arc<Vec<AtomicU64>> =
-            Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let per_rank: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
         let p2 = per_rank.clone();
         Machine::run(MachineConfig::new(4), move |ctx| {
             let per_rank = p2.clone();

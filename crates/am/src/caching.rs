@@ -77,7 +77,9 @@ impl<T: Hash + Eq + Clone + Send + 'static> CachingSender<T> {
         let cap = capacity.next_power_of_two().max(1);
         Arc::new(CachingSender {
             inner,
-            caches: (0..ranks).map(|_| Mutex::new(DestCache::new(cap))).collect(),
+            caches: (0..ranks)
+                .map(|_| Mutex::new(DestCache::new(cap)))
+                .collect(),
         })
     }
 

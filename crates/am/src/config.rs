@@ -42,10 +42,26 @@ pub struct MachineConfig {
     /// Termination-detection algorithm used by epochs.
     pub termination: TerminationMode,
     /// Capacity of the envelope trace ring (0 = tracing off). When on,
-    /// the machine records the last N envelope deliveries
+    /// the machine records envelope deliveries
     /// `(epoch, from, to, type, count)` for postmortem inspection via
-    /// `AmCtx::trace`.
+    /// `AmCtx::trace`. **Ring semantics:** the ring is bounded — once full,
+    /// each new delivery silently evicts the *oldest* recorded event, so
+    /// `AmCtx::trace` returns the newest `capacity` deliveries. Evictions
+    /// are counted in the `trace_dropped` statistic
+    /// (`StatsSnapshot::trace_dropped`); a nonzero value means the trace
+    /// is a suffix of the run, not the whole run.
     pub trace_envelopes: usize,
+    /// Enable the structured observability recorder (`dgp-am::obs`):
+    /// epoch/handler/termination spans, handler-latency and envelope-size
+    /// histograms, Chrome-trace export. Off by default; when off, the
+    /// instrumentation sites cost a single branch on an `Option`.
+    /// Per-epoch profiles (`AmCtx::epoch_profiles`) are always collected —
+    /// they cost one snapshot per epoch, not per message.
+    pub profile: bool,
+    /// Per-rank capacity of the span recorder used when [`profile`]
+    /// (Self::profile) is on; further spans are dropped (and counted) so
+    /// profiling memory stays bounded.
+    pub profile_spans: usize,
 }
 
 impl MachineConfig {
@@ -58,6 +74,8 @@ impl MachineConfig {
             recv_timeout: Duration::from_micros(100),
             termination: TerminationMode::SharedCounters,
             trace_envelopes: 0,
+            profile: false,
+            profile_spans: 1 << 16,
         }
     }
 
@@ -80,9 +98,23 @@ impl MachineConfig {
         self
     }
 
-    /// Enable envelope tracing with a ring of `capacity` events.
+    /// Enable envelope tracing with a bounded ring of `capacity` events
+    /// (oldest-evicting; see [`MachineConfig::trace_envelopes`]).
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace_envelopes = capacity;
+        self
+    }
+
+    /// Enable (or disable) the observability recorder — spans, latency
+    /// histograms, Chrome-trace export (see [`crate::obs`]).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Set the per-rank span-buffer capacity used when profiling is on.
+    pub fn profile_capacity(mut self, spans_per_rank: usize) -> Self {
+        self.profile_spans = spans_per_rank;
         self
     }
 

@@ -28,6 +28,10 @@
 //!   `epoch_flush` and `try_finish` primitives ([`AmCtx::epoch_flush`],
 //!   [`AmCtx::try_finish`]) are provided, along with two termination
 //!   detection algorithms ([`config::TerminationMode`]).
+//! * **Structured observability** ([`obs`]): per-epoch counter profiles
+//!   (always on), an optional span/histogram recorder gated by
+//!   [`MachineConfig::profile`], and Chrome-trace / metrics-JSON exporters
+//!   — the per-phase message evidence the paper's Figs. 5–6 argue from.
 //!
 //! ## Simulated distribution
 //!
@@ -76,6 +80,7 @@ pub mod coalescing;
 pub mod collectives;
 pub mod config;
 pub mod machine;
+pub mod obs;
 pub mod reduction;
 pub mod stats;
 pub mod termination;
@@ -84,5 +89,8 @@ pub use addressing::AddressMap;
 pub use caching::CachingSender;
 pub use config::{MachineConfig, TerminationMode};
 pub use machine::{AmCtx, Flushable, Machine, MessageType, RankId, TraceEvent};
+pub use obs::{
+    EpochProfile, LogHistogram, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
+};
 pub use reduction::ReducingSender;
 pub use stats::StatsSnapshot;

@@ -24,6 +24,9 @@ use crate::addressing::AddressMap;
 use crate::coalescing::{ErasedBuffers, TypedBuffers};
 use crate::collectives::Collective;
 use crate::config::{MachineConfig, TerminationMode};
+use crate::obs::{
+    self, EpochProfile, EpochProfiler, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
+};
 use crate::stats::{MachineStats, StatsSnapshot, TypeStat, TypeStatSnapshot};
 use crate::termination::{ring_next, Token};
 
@@ -100,6 +103,11 @@ pub(crate) struct Shared {
     type_stats: RwLock<Vec<Arc<TypeStat>>>,
     /// Optional envelope trace ring.
     trace: Option<parking_lot::Mutex<TraceRing>>,
+    /// Optional span/histogram recorder ([`MachineConfig::profile`]); the
+    /// disabled path everywhere is one branch on this `Option`.
+    obs: Option<Recorder>,
+    /// Always-on per-epoch counter snapshotting (see [`crate::obs`]).
+    epoch_prof: EpochProfiler,
     pub(crate) stats: MachineStats,
 }
 
@@ -129,6 +137,9 @@ impl Shared {
                 capacity: cfg.trace_envelopes,
             })
         });
+        let obs = cfg
+            .profile
+            .then(|| Recorder::new(cfg.ranks, cfg.profile_spans));
         Shared {
             cfg,
             ranks,
@@ -140,8 +151,19 @@ impl Shared {
             share_slot: parking_lot::Mutex::new(None),
             type_stats: RwLock::new(Vec::new()),
             trace,
+            obs,
+            epoch_prof: EpochProfiler::default(),
             stats: MachineStats::default(),
         }
+    }
+
+    /// Machine-wide cumulative snapshot with the per-rank send/handle
+    /// counters folded in (exact when quiescent, e.g. between epochs).
+    fn full_snapshot(&self) -> StatsSnapshot {
+        let mut s = self.stats.snapshot();
+        s.messages_sent = self.total_sent();
+        s.messages_handled = self.total_handled();
+        s
     }
 
     fn total_handled(&self) -> u64 {
@@ -173,6 +195,9 @@ impl Shared {
 /// Push an envelope into `dest`'s inbox (used by the coalescing layer).
 pub(crate) fn deliver(shared: &Shared, from: RankId, dest: RankId, env: Envelope) {
     MachineStats::bump(&shared.stats.envelopes_sent, 1);
+    if let Some(rec) = &shared.obs {
+        rec.envelope_sizes.record(env.count as u64);
+    }
     if let Some(trace) = &shared.trace {
         let ev = TraceEvent {
             epoch: shared.stats.epochs.load(SeqCst),
@@ -184,6 +209,7 @@ pub(crate) fn deliver(shared: &Shared, from: RankId, dest: RankId, env: Envelope
         let mut ring = trace.lock();
         if ring.events.len() == ring.capacity {
             ring.events.pop_front();
+            MachineStats::bump(&shared.stats.trace_dropped, 1);
         }
         ring.events.push_back(ev);
     }
@@ -431,10 +457,67 @@ impl AmCtx {
 
     /// Point-in-time statistics (exact when read outside an epoch).
     pub fn stats(&self) -> StatsSnapshot {
-        let mut s = self.shared.stats.snapshot();
-        s.messages_sent = self.shared.total_sent();
-        s.messages_handled = self.shared.total_handled();
-        s
+        self.shared.full_snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (see `crate::obs`)
+    // ------------------------------------------------------------------
+
+    /// Whether the span/histogram recorder is on
+    /// ([`MachineConfig::profile`]).
+    pub fn profiling_enabled(&self) -> bool {
+        self.shared.obs.is_some()
+    }
+
+    /// The machine's span recorder, when profiling is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.shared.obs.as_ref()
+    }
+
+    /// Begin a span that records itself when dropped. Returns `None` (one
+    /// branch, no allocation) when profiling is disabled — bind it to a
+    /// `let _guard` and the instrumentation disappears from the cold
+    /// build's hot path.
+    pub fn span(&self, kind: SpanKind, name: &'static str) -> Option<SpanGuard<'_>> {
+        let rec = self.shared.obs.as_ref()?;
+        let epoch = self.shared.completed_epoch.load(SeqCst) + 1;
+        Some(SpanGuard::begin(
+            rec,
+            kind,
+            name,
+            self.rank,
+            self.thread,
+            epoch,
+        ))
+    }
+
+    /// Machine-wide per-epoch counter profiles, one per completed epoch
+    /// (always collected; see [`crate::obs::EpochProfile`]). The Figs.
+    /// 5–6 evidence — messages per phase — reads directly off these.
+    pub fn epoch_profiles(&self) -> Vec<EpochProfile> {
+        self.shared.epoch_prof.profiles()
+    }
+
+    /// Assemble the machine-readable metrics document: cumulative
+    /// counters, per-type counters, and per-epoch profiles.
+    pub fn metrics_report(&self) -> MetricsReport {
+        MetricsReport {
+            ranks: self.num_ranks(),
+            cumulative: self.stats(),
+            per_type: self.type_stats(),
+            epoch_profiles: self.epoch_profiles(),
+        }
+    }
+
+    /// Export every recorded span as Chrome trace-event JSON (one track
+    /// per rank; load in `chrome://tracing` or Perfetto). `None` when
+    /// profiling is disabled.
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        self.shared
+            .obs
+            .as_ref()
+            .map(|rec| obs::chrome_trace_json(&rec.all_spans(), self.num_ranks()))
     }
 
     // ------------------------------------------------------------------
@@ -487,8 +570,8 @@ impl AmCtx {
             _marker: std::marker::PhantomData,
         };
         let handler_tstat = tstat;
-        let erased: Arc<ErasedHandler> =
-            Arc::new(move |ctx: &AmCtx, payload: Box<dyn Any + Send>, count: u32| {
+        let erased: Arc<ErasedHandler> = Arc::new(
+            move |ctx: &AmCtx, payload: Box<dyn Any + Send>, count: u32| {
                 let batch = payload
                     .downcast::<Vec<T>>()
                     .expect("message type registration order must match across ranks");
@@ -505,7 +588,8 @@ impl AmCtx {
                     MachineStats::bump(&ctx.shared.stats.messages_handled, 1);
                     MachineStats::bump(&handler_tstat.handled, 1);
                 }
-            });
+            },
+        );
         handlers.push(erased);
         mt
     }
@@ -525,12 +609,7 @@ impl AmCtx {
         self.send_typed(mt, dest, msg);
     }
 
-    pub(crate) fn send_typed<T: Send + 'static>(
-        &self,
-        mt: MessageType<T>,
-        dest: RankId,
-        msg: T,
-    ) {
+    pub(crate) fn send_typed<T: Send + 'static>(&self, mt: MessageType<T>, dest: RankId, msg: T) {
         debug_assert!(
             self.epoch_active(),
             "messages may only be sent inside an epoch"
@@ -548,8 +627,8 @@ impl AmCtx {
         }
         let cap = self.shared.cfg.coalescing_capacity;
         let nranks = self.shared.cfg.ranks;
-        let slot = bufs[idx]
-            .get_or_insert_with(|| Box::new(TypedBuffers::<T>::new(mt.id, cap, nranks)));
+        let slot =
+            bufs[idx].get_or_insert_with(|| Box::new(TypedBuffers::<T>::new(mt.id, cap, nranks)));
         let tb = slot
             .as_any_mut()
             .downcast_mut::<TypedBuffers<T>>()
@@ -605,9 +684,9 @@ impl AmCtx {
                 .clone()
         };
         self.barrier(); // all ranks cloned
-        // Idempotent clear; every take after this barrier precedes any
-        // construction of the next round (which sits behind its own entry
-        // barrier that this rank has not reached yet).
+                        // Idempotent clear; every take after this barrier precedes any
+                        // construction of the next round (which sits behind its own entry
+                        // barrier that this rank has not reached yet).
         self.shared.share_slot.lock().take();
         v
     }
@@ -635,6 +714,19 @@ impl AmCtx {
         self.epochs_entered.set(my_gen);
         self.in_epoch.set(true);
         self.shared.epoch_active.fetch_add(1, SeqCst);
+        // First rank past the entry barrier stamps the epoch's start time.
+        self.shared.epoch_prof.enter();
+        let epoch_span = self.shared.obs.as_ref().map(|rec| {
+            SpanGuard::begin(
+                rec,
+                SpanKind::Epoch,
+                "epoch",
+                self.rank,
+                self.thread,
+                my_gen,
+            )
+            .args(my_gen, 0)
+        });
 
         let result = f(self);
 
@@ -649,6 +741,13 @@ impl AmCtx {
         // No rank proceeds (e.g. reads results, starts the next epoch)
         // until all have observed termination.
         self.barrier();
+        // Quiescent: every counter touched by this epoch is stable until
+        // all ranks pass the *next* epoch's entry barrier, so the first
+        // rank through seals an exact machine-wide delta for this epoch.
+        self.shared
+            .epoch_prof
+            .seal(my_gen, self.shared.full_snapshot());
+        drop(epoch_span);
         #[cfg(debug_assertions)]
         {
             let h = self.shared.total_handled();
@@ -742,7 +841,28 @@ impl AmCtx {
                 })
                 .clone()
         };
-        handler(self, env.payload, env.count);
+        match &self.shared.obs {
+            None => handler(self, env.payload, env.count),
+            Some(rec) => {
+                let (type_id, count) = (env.type_id, env.count);
+                let start_ns = rec.now_ns();
+                let t0 = std::time::Instant::now();
+                handler(self, env.payload, count);
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                rec.handler_ns.record(dur_ns);
+                rec.record(SpanRecord {
+                    kind: SpanKind::Handler,
+                    name: "handler",
+                    rank: self.rank,
+                    thread: self.thread,
+                    start_ns,
+                    dur_ns,
+                    epoch: self.shared.completed_epoch.load(SeqCst) + 1,
+                    arg0: type_id as u64,
+                    arg1: count as u64,
+                });
+            }
+        }
     }
 
     /// Ship all of this thread's non-empty coalescing buffers. Returns the
@@ -793,8 +913,21 @@ impl AmCtx {
     fn finish_epoch_counters(&self, my_gen: u64) {
         let shared = &self.shared;
         let me = &shared.ranks[self.rank];
+        let mut span = shared.obs.as_ref().map(|rec| {
+            SpanGuard::begin(
+                rec,
+                SpanKind::Termination,
+                "termination.counters",
+                self.rank,
+                self.thread,
+                my_gen,
+            )
+            .args(my_gen, 0)
+        });
+        let mut rounds: u64 = 0;
         loop {
             shared.check_poison();
+            rounds += 1;
             if self.drain_and_flush() {
                 continue;
             }
@@ -816,6 +949,9 @@ impl AmCtx {
                 self.handle_envelope(env);
             }
         }
+        if let Some(s) = span.as_mut() {
+            s.set_arg1(rounds);
+        }
     }
 
     /// Four-counter wave termination detection (see [`crate::termination`]).
@@ -827,6 +963,18 @@ impl AmCtx {
             return self.finish_epoch_counters(my_gen);
         }
         let me = &shared.ranks[self.rank];
+        let mut span = shared.obs.as_ref().map(|rec| {
+            SpanGuard::begin(
+                rec,
+                SpanKind::Termination,
+                "termination.wave",
+                self.rank,
+                self.thread,
+                my_gen,
+            )
+            .args(my_gen, 0)
+        });
+        let mut tokens_seen: u64 = 0;
         let mut held: Option<Token> = None;
         let mut prev_wave: Option<(u64, u64)> = None;
         let mut wave_no: u64 = 0;
@@ -858,6 +1006,7 @@ impl AmCtx {
             }) = held.take()
             {
                 MachineStats::bump(&shared.stats.control_tokens, 1);
+                tokens_seen += 1;
                 if self.rank == 0 {
                     // Wave returned with machine totals.
                     let cur = (sent, handled);
@@ -905,6 +1054,9 @@ impl AmCtx {
         }
         // Drain any stale control traffic for this epoch.
         while me.ctl_rx.try_recv().is_ok() {}
+        if let Some(s) = span.as_mut() {
+            s.set_arg1(tokens_seen);
+        }
     }
 }
 
@@ -1190,8 +1342,14 @@ mod type_stats_tests {
         });
         let stats = &out[0];
         assert_eq!(stats.len(), 2);
-        assert_eq!((stats[0].name.as_str(), stats[0].sent, stats[0].handled), ("ping", 7, 7));
-        assert_eq!((stats[1].name.as_str(), stats[1].sent, stats[1].handled), ("pong", 1, 1));
+        assert_eq!(
+            (stats[0].name.as_str(), stats[0].sent, stats[0].handled),
+            ("ping", 7, 7)
+        );
+        assert_eq!(
+            (stats[1].name.as_str(), stats[1].sent, stats[1].handled),
+            ("pong", 1, 1)
+        );
     }
 
     #[test]
@@ -1227,7 +1385,9 @@ mod trace_tests {
         assert!(!trace.is_empty());
         let total: u32 = trace.iter().map(|e| e.count).sum();
         assert_eq!(total, 10);
-        assert!(trace.iter().all(|e| e.from == 0 && e.to == 1 && e.type_id == 0));
+        assert!(trace
+            .iter()
+            .all(|e| e.from == 0 && e.to == 1 && e.type_id == 0));
     }
 
     #[test]

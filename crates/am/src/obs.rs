@@ -1,0 +1,713 @@
+//! `dgp-am::obs` — structured observability for the active-message runtime.
+//!
+//! The paper's entire evaluation (Figs. 5–6) is phrased in *messages per
+//! phase*: coalescing, caching and reduction layers are judged by how they
+//! bend per-epoch message counts. This module provides the machinery to
+//! extract exactly that evidence from a run:
+//!
+//! * **[`Recorder`]** — a per-rank, allocation-light span/event recorder.
+//!   Spans are fixed-size [`SpanRecord`] values (static names, no heap
+//!   allocation per record) pushed into per-rank vectors behind one mutex
+//!   per rank; latency and batch-size distributions go into log-bucketed
+//!   [`LogHistogram`]s updated with relaxed atomics. The recorder only
+//!   exists when profiling is enabled via
+//!   [`MachineConfig::profile`](crate::MachineConfig::profile) — the
+//!   disabled hot path is a single branch on an `Option`.
+//! * **[`EpochProfile`]** — the runtime automatically snapshots
+//!   machine-wide [`StatsSnapshot`] deltas at every epoch boundary
+//!   (duration, messages sent/handled, coalescing factor, cache-hit rate,
+//!   reduction-combine rate, control tokens). Always on: the cost is one
+//!   snapshot per *epoch*, not per message. Read them back with
+//!   [`AmCtx::epoch_profiles`](crate::AmCtx::epoch_profiles).
+//! * **Exporters** — [`chrome_trace_json`] renders the recorded spans as
+//!   Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto,
+//!   one track per rank), and [`MetricsReport::to_json`] emits a
+//!   machine-readable metrics document the experiment harness consumes to
+//!   regenerate the Fig. 5–6 message-count tables.
+//!
+//! ## Overhead discipline
+//!
+//! Every instrumentation site follows the same rule: the disabled path may
+//! cost at most one well-predicted branch (`Option::is_none` on the
+//! recorder) and the enabled path may not allocate per event. Span names
+//! are `&'static str`; numeric span payloads ride in two untyped `u64`
+//! argument slots. Epoch profiling, which is per-epoch rather than
+//! per-message, stays on unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::machine::RankId;
+use crate::stats::{StatsSnapshot, TypeStatSnapshot};
+
+/// Number of buckets in a [`LogHistogram`] (one per possible bit length of
+/// a `u64` value, plus a zero bucket).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// envelope batch sizes). Bucket `i > 0` holds samples whose bit length is
+/// `i`, i.e. values in `[2^(i-1), 2^i)`; bucket 0 holds zeros. Updates are
+/// relaxed atomics — safe to bump from any thread, exact when quiescent.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        let b = (64 - value.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Point-in-time copy (exact when quiescent).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; bucket `i > 0` covers `[2^(i-1), 2^i)`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for exact means).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (0 when empty). A log-bucketed approximation: correct to within 2x.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The category of a recorded span (maps to the Chrome trace-event `cat`
+/// field, so tracks can be filtered by layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One full epoch on one rank (entry barrier to exit barrier).
+    Epoch,
+    /// One envelope's worth of handler executions (`arg0` = type id,
+    /// `arg1` = messages in the envelope).
+    Handler,
+    /// The termination-detection tail of an epoch (`arg0` = detection
+    /// rounds/waves observed by this rank).
+    Termination,
+    /// A `Gather` plan step executed by the pattern engine (`arg0` =
+    /// action id).
+    Gather,
+    /// An `Evaluate`/`EvalModify`/`ModifyGroup` plan step (`arg0` =
+    /// action id).
+    Eval,
+    /// Generator expansion of one action instance (`arg0` = action id,
+    /// `arg1` = items generated).
+    Expand,
+    /// A strategy-level phase (per-bucket drain, per-round sweep; `arg0`
+    /// is strategy-defined, e.g. the bucket index).
+    Strategy,
+    /// User-defined span recorded through
+    /// [`AmCtx::span`](crate::AmCtx::span).
+    Custom,
+}
+
+impl SpanKind {
+    /// The Chrome trace-event category string.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Epoch => "epoch",
+            SpanKind::Handler => "handler",
+            SpanKind::Termination => "termination",
+            SpanKind::Gather => "engine",
+            SpanKind::Eval => "engine",
+            SpanKind::Expand => "engine",
+            SpanKind::Strategy => "strategy",
+            SpanKind::Custom => "custom",
+        }
+    }
+}
+
+/// One recorded span: fixed-size, allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Layer/category of the span.
+    pub kind: SpanKind,
+    /// Static display name.
+    pub name: &'static str,
+    /// Rank the span ran on.
+    pub rank: RankId,
+    /// Thread within the rank (0 = main).
+    pub thread: usize,
+    /// Start time in nanoseconds since the machine's recorder was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Machine epoch generation the span belongs to (0 before the first
+    /// epoch completes; diagnostic, not exact at epoch boundaries).
+    pub epoch: u64,
+    /// First untyped argument (kind-specific; see [`SpanKind`]).
+    pub arg0: u64,
+    /// Second untyped argument (kind-specific).
+    pub arg1: u64,
+}
+
+/// The span/event recorder: one bounded span buffer per rank plus
+/// machine-wide log-bucketed histograms. Created by the machine when
+/// [`MachineConfig::profile`](crate::MachineConfig::profile) is enabled.
+#[derive(Debug)]
+pub struct Recorder {
+    base: Instant,
+    max_spans_per_rank: usize,
+    spans: Vec<Mutex<Vec<SpanRecord>>>,
+    dropped: AtomicU64,
+    /// Per-envelope handler-execution latency, nanoseconds.
+    pub handler_ns: LogHistogram,
+    /// Messages per delivered envelope (the realized coalescing factor
+    /// distribution, not just its mean).
+    pub envelope_sizes: LogHistogram,
+}
+
+impl Recorder {
+    pub(crate) fn new(ranks: usize, max_spans_per_rank: usize) -> Recorder {
+        Recorder {
+            base: Instant::now(),
+            max_spans_per_rank,
+            spans: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            dropped: AtomicU64::new(0),
+            handler_ns: LogHistogram::default(),
+            envelope_sizes: LogHistogram::default(),
+        }
+    }
+
+    /// Nanoseconds since the recorder was created (the machine's time
+    /// base; all spans share it, so cross-rank ordering is meaningful).
+    pub fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+
+    /// Append a finished span to its rank's buffer. Drops (and counts)
+    /// the span when the rank's buffer is at capacity.
+    pub fn record(&self, span: SpanRecord) {
+        let mut buf = self.spans[span.rank].lock();
+        if buf.len() >= self.max_spans_per_rank {
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        buf.push(span);
+    }
+
+    /// Spans dropped because a rank's buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Copy of one rank's spans, in recording order.
+    pub fn spans_of(&self, rank: RankId) -> Vec<SpanRecord> {
+        self.spans[rank].lock().clone()
+    }
+
+    /// Copy of every rank's spans, concatenated in rank order.
+    pub fn all_spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for s in &self.spans {
+            out.extend_from_slice(&s.lock());
+        }
+        out
+    }
+}
+
+/// RAII guard for an in-flight span: records itself into the [`Recorder`]
+/// on drop. Obtained from [`AmCtx::span`](crate::AmCtx::span); `None` when
+/// profiling is disabled, so the hot path pays one branch.
+pub struct SpanGuard<'a> {
+    rec: &'a Recorder,
+    kind: SpanKind,
+    name: &'static str,
+    rank: RankId,
+    thread: usize,
+    epoch: u64,
+    arg0: u64,
+    arg1: u64,
+    t0: Instant,
+    start_ns: u64,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn begin(
+        rec: &'a Recorder,
+        kind: SpanKind,
+        name: &'static str,
+        rank: RankId,
+        thread: usize,
+        epoch: u64,
+    ) -> SpanGuard<'a> {
+        SpanGuard {
+            rec,
+            kind,
+            name,
+            rank,
+            thread,
+            epoch,
+            arg0: 0,
+            arg1: 0,
+            t0: Instant::now(),
+            start_ns: rec.now_ns(),
+        }
+    }
+
+    /// Attach the two untyped argument slots (builder style).
+    pub fn args(mut self, arg0: u64, arg1: u64) -> Self {
+        self.arg0 = arg0;
+        self.arg1 = arg1;
+        self
+    }
+
+    /// Set the second argument slot after construction (e.g. an item
+    /// count known only at the end of the span).
+    pub fn set_arg1(&mut self, arg1: u64) {
+        self.arg1 = arg1;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.record(SpanRecord {
+            kind: self.kind,
+            name: self.name,
+            rank: self.rank,
+            thread: self.thread,
+            start_ns: self.start_ns,
+            dur_ns: self.t0.elapsed().as_nanos() as u64,
+            epoch: self.epoch,
+            arg0: self.arg0,
+            arg1: self.arg1,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch profiles
+// ---------------------------------------------------------------------
+
+/// Machine-wide counter deltas and wall time for one completed epoch —
+/// the per-phase unit the paper's Figs. 5–6 argue from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochProfile {
+    /// 1-indexed epoch generation.
+    pub epoch: u64,
+    /// Wall-clock time from the first rank entering the epoch to the
+    /// profile being sealed after the exit barrier.
+    pub duration: Duration,
+    /// Counter-wise difference of the machine-wide [`StatsSnapshot`]
+    /// over this epoch (its `epochs` field counts per-rank completions,
+    /// i.e. equals the rank count for a normal epoch).
+    pub delta: StatsSnapshot,
+}
+
+impl EpochProfile {
+    /// Messages per envelope achieved within this epoch.
+    pub fn coalescing_factor(&self) -> f64 {
+        self.delta.coalescing_factor()
+    }
+
+    /// Fraction of cache-layer lookups that eliminated a send
+    /// (0 when no caching layer ran this epoch).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.delta.cache_hits + self.delta.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.delta.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of reduction-layer traffic absorbed by combines
+    /// (0 when no reduction layer ran this epoch).
+    pub fn reduction_combine_rate(&self) -> f64 {
+        let total = self.delta.reduction_combines + self.delta.reduction_forwards;
+        if total == 0 {
+            0.0
+        } else {
+            self.delta.reduction_combines as f64 / total as f64
+        }
+    }
+}
+
+/// Always-on per-epoch snapshotting state, owned by the machine. The
+/// runtime calls [`enter`](Self::enter) once the epoch's entry barrier has
+/// released and [`seal`](Self::seal) after the exit barrier; the first
+/// rank through each callsite does the actual work, so exactly one profile
+/// is produced per machine epoch.
+#[derive(Debug, Default)]
+pub(crate) struct EpochProfiler {
+    state: Mutex<ProfilerState>,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerState {
+    last: StatsSnapshot,
+    start: Option<Instant>,
+    profiles: Vec<EpochProfile>,
+}
+
+impl EpochProfiler {
+    /// Mark epoch entry; the first rank to arrive stamps the start time.
+    pub(crate) fn enter(&self) {
+        let mut st = self.state.lock();
+        if st.start.is_none() {
+            st.start = Some(Instant::now());
+        }
+    }
+
+    /// Seal the profile for generation `gen` (1-indexed). Called by every
+    /// rank after the exit barrier; the first caller records the delta
+    /// against the previous boundary snapshot, the rest observe the
+    /// profile already present and return. `current` is the machine-wide
+    /// cumulative snapshot taken under quiescence.
+    pub(crate) fn seal(&self, gen: u64, current: StatsSnapshot) {
+        let mut st = self.state.lock();
+        if st.profiles.len() as u64 >= gen {
+            return;
+        }
+        let duration = st.start.take().map(|t| t.elapsed()).unwrap_or_default();
+        let delta = current.since(&st.last);
+        st.last = current;
+        st.profiles.push(EpochProfile {
+            epoch: gen,
+            duration,
+            delta,
+        });
+    }
+
+    pub(crate) fn profiles(&self) -> Vec<EpochProfile> {
+        self.state.lock().profiles.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+/// Render recorded spans as Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` object form). Loadable in `chrome://tracing`
+/// and Perfetto. Each rank becomes one process (`pid` = rank, labelled
+/// `"rank N"`), each thread within the rank one timeline row, so a run
+/// reads as one track per rank. Durations use complete (`"X"`) events with
+/// microsecond timestamps; span arguments land in `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord], ranks: usize) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push_event = |out: &mut String, first: &mut bool, body: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&body);
+    };
+    for rank in 0..ranks {
+        push_event(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ),
+        );
+    }
+    for s in spans {
+        let mut name = String::new();
+        json_escape(s.name, &mut name);
+        push_event(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"epoch\":{epoch},\"arg0\":{a0},\"arg1\":{a1}}}}}",
+                cat = s.kind.category(),
+                ts = s.start_ns as f64 / 1e3,
+                dur = s.dur_ns as f64 / 1e3,
+                pid = s.rank,
+                tid = s.thread,
+                epoch = s.epoch,
+                a0 = s.arg0,
+                a1 = s.arg1,
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn stats_json(s: &StatsSnapshot, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"messages_sent\":{},\"envelopes_sent\":{},\"messages_handled\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"reduction_combines\":{},\
+         \"reduction_forwards\":{},\"epochs\":{},\"control_tokens\":{},\
+         \"trace_dropped\":{}}}",
+        s.messages_sent,
+        s.envelopes_sent,
+        s.messages_handled,
+        s.cache_hits,
+        s.cache_misses,
+        s.reduction_combines,
+        s.reduction_forwards,
+        s.epochs,
+        s.control_tokens,
+        s.trace_dropped,
+    ));
+}
+
+/// A machine-readable metrics document: cumulative counters, per-type
+/// counters, and the per-epoch profiles. Built with
+/// [`AmCtx::metrics_report`](crate::AmCtx::metrics_report); serialized
+/// with [`to_json`](Self::to_json) for the experiment harness (the Fig.
+/// 5–6 message-count tables are derived from `epoch_profiles`).
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Number of ranks in the machine.
+    pub ranks: usize,
+    /// Machine-wide cumulative counters at report time.
+    pub cumulative: StatsSnapshot,
+    /// Per-message-type counters, in registration order (identical on
+    /// every rank by the collective-registration discipline).
+    pub per_type: Vec<TypeStatSnapshot>,
+    /// One profile per completed epoch, in order.
+    pub epoch_profiles: Vec<EpochProfile>,
+}
+
+impl MetricsReport {
+    /// Serialize as a stable, dependency-free JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.epoch_profiles.len() * 256);
+        out.push_str(&format!("{{\"ranks\":{},\"cumulative\":", self.ranks));
+        stats_json(&self.cumulative, &mut out);
+        out.push_str(",\"per_type\":[");
+        for (i, t) in self.per_type.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut name = String::new();
+            json_escape(&t.name, &mut name);
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"sent\":{},\"handled\":{}}}",
+                t.sent, t.handled
+            ));
+        }
+        out.push_str("],\"epochs\":[");
+        for (i, p) in self.epoch_profiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"duration_us\":{:.3},\"coalescing_factor\":{},\
+                 \"cache_hit_rate\":{},\"reduction_combine_rate\":{},\"delta\":",
+                p.epoch,
+                p.duration.as_secs_f64() * 1e6,
+                fmt_f64(p.coalescing_factor()),
+                fmt_f64(p.cache_hit_rate()),
+                fmt_f64(p.reduction_combine_rate()),
+            ));
+            stats_json(&p.delta, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = LogHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1); // zero
+        assert_eq!(s.buckets[1], 1); // [1,2)
+        assert_eq!(s.buckets[2], 2); // [2,4)
+        assert_eq!(s.buckets[11], 1); // [1024,2048)
+        assert_eq!(s.quantile(0.0), 0);
+        assert!(s.quantile(1.0) >= 1024);
+        assert!((s.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = LogHistogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn recorder_caps_spans_and_counts_drops() {
+        let rec = Recorder::new(1, 2);
+        for i in 0..5 {
+            rec.record(SpanRecord {
+                kind: SpanKind::Custom,
+                name: "x",
+                rank: 0,
+                thread: 0,
+                start_ns: i,
+                dur_ns: 1,
+                epoch: 0,
+                arg0: 0,
+                arg1: 0,
+            });
+        }
+        assert_eq!(rec.spans_of(0).len(), 2);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn epoch_profiler_seals_once_per_generation() {
+        let p = EpochProfiler::default();
+        p.enter();
+        let mut s = StatsSnapshot {
+            messages_sent: 10,
+            ..Default::default()
+        };
+        p.seal(1, s);
+        p.seal(1, s); // second rank through: no duplicate
+        p.enter();
+        s.messages_sent = 25;
+        p.seal(2, s);
+        let profiles = p.profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].delta.messages_sent, 10);
+        assert_eq!(profiles[1].delta.messages_sent, 15);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = [SpanRecord {
+            kind: SpanKind::Epoch,
+            name: "epoch",
+            rank: 1,
+            thread: 0,
+            start_ns: 2_500,
+            dur_ns: 1_000,
+            epoch: 1,
+            arg0: 7,
+            arg1: 0,
+        }];
+        let json = chrome_trace_json(&spans, 2);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":2.500"));
+        assert!(json.contains("\"cat\":\"epoch\""));
+    }
+
+    #[test]
+    fn metrics_json_is_wellformed_enough() {
+        let report = MetricsReport {
+            ranks: 2,
+            cumulative: StatsSnapshot {
+                messages_sent: 4,
+                envelopes_sent: 2,
+                ..Default::default()
+            },
+            per_type: vec![TypeStatSnapshot {
+                name: "a\"b".into(),
+                sent: 4,
+                handled: 4,
+            }],
+            epoch_profiles: vec![EpochProfile {
+                epoch: 1,
+                duration: Duration::from_micros(5),
+                delta: StatsSnapshot {
+                    messages_sent: 4,
+                    envelopes_sent: 2,
+                    ..Default::default()
+                },
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"ranks\":2"));
+        assert!(json.contains("a\\\"b"), "{json}");
+        assert!(json.contains("\"coalescing_factor\":2.000000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+}

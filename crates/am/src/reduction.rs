@@ -83,7 +83,9 @@ where
         Arc::new(ReducingSender {
             inner,
             combine: Box::new(combine),
-            tables: (0..ranks).map(|_| Mutex::new(DestTable::new(cap))).collect(),
+            tables: (0..ranks)
+                .map(|_| Mutex::new(DestTable::new(cap)))
+                .collect(),
         })
     }
 

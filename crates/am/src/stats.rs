@@ -30,6 +30,10 @@ pub struct MachineStats {
     pub epochs: AtomicU64,
     /// Termination-detection control tokens circulated (four-counter mode).
     pub control_tokens: AtomicU64,
+    /// Envelope trace events evicted from the bounded trace ring (see
+    /// [`crate::MachineConfig::trace`]). Nonzero means `AmCtx::trace` is a
+    /// suffix of the run, not the whole run.
+    pub trace_dropped: AtomicU64,
 }
 
 impl MachineStats {
@@ -50,6 +54,7 @@ impl MachineStats {
             reduction_forwards: self.reduction_forwards.load(Ordering::SeqCst),
             epochs: self.epochs.load(Ordering::SeqCst),
             control_tokens: self.control_tokens.load(Ordering::SeqCst),
+            trace_dropped: self.trace_dropped.load(Ordering::SeqCst),
         }
     }
 }
@@ -117,6 +122,8 @@ pub struct StatsSnapshot {
     pub epochs: u64,
     /// Termination-detection control tokens circulated.
     pub control_tokens: u64,
+    /// Trace events evicted from the bounded envelope trace ring.
+    pub trace_dropped: u64,
 }
 
 impl StatsSnapshot {
@@ -131,17 +138,30 @@ impl StatsSnapshot {
     }
 
     /// Counter-wise difference (`self - earlier`), for measuring one phase.
+    ///
+    /// Saturating: snapshots taken mid-epoch are only "consistent enough" —
+    /// individual counters can race ahead of each other between the two
+    /// loads, so a plain subtraction could underflow (and panic in debug
+    /// builds). A clamped-to-zero component is the honest reading of such a
+    /// racy pair.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            messages_sent: self.messages_sent - earlier.messages_sent,
-            envelopes_sent: self.envelopes_sent - earlier.envelopes_sent,
-            messages_handled: self.messages_handled - earlier.messages_handled,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
-            reduction_combines: self.reduction_combines - earlier.reduction_combines,
-            reduction_forwards: self.reduction_forwards - earlier.reduction_forwards,
-            epochs: self.epochs - earlier.epochs,
-            control_tokens: self.control_tokens - earlier.control_tokens,
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            envelopes_sent: self.envelopes_sent.saturating_sub(earlier.envelopes_sent),
+            messages_handled: self
+                .messages_handled
+                .saturating_sub(earlier.messages_handled),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            reduction_combines: self
+                .reduction_combines
+                .saturating_sub(earlier.reduction_combines),
+            reduction_forwards: self
+                .reduction_forwards
+                .saturating_sub(earlier.reduction_forwards),
+            epochs: self.epochs.saturating_sub(earlier.epochs),
+            control_tokens: self.control_tokens.saturating_sub(earlier.control_tokens),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
         }
     }
 }
@@ -167,5 +187,24 @@ mod tests {
     #[test]
     fn empty_coalescing_factor_is_zero() {
         assert_eq!(StatsSnapshot::default().coalescing_factor(), 0.0);
+    }
+
+    #[test]
+    fn since_saturates_on_racy_snapshots() {
+        // A mid-epoch pair where `earlier` observed a counter *after*
+        // `later` did (loads are not a consistent cut).
+        let earlier = StatsSnapshot {
+            messages_sent: 10,
+            messages_handled: 8,
+            ..Default::default()
+        };
+        let later = StatsSnapshot {
+            messages_sent: 12,
+            messages_handled: 5, // raced behind
+            ..Default::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.messages_handled, 0, "clamped, not panicking");
     }
 }

@@ -16,7 +16,13 @@ fn bench_sync_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/sync");
     g.sample_size(10);
     let configs: Vec<(&str, EngineConfig)> = vec![
-        ("atomic", EngineConfig { sync: SyncMode::Atomic, ..Default::default() }),
+        (
+            "atomic",
+            EngineConfig {
+                sync: SyncMode::Atomic,
+                ..Default::default()
+            },
+        ),
         (
             "lock_per_vertex",
             EngineConfig {
@@ -138,5 +144,10 @@ fn bench_abstraction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sync_modes, bench_termination, bench_abstraction);
+criterion_group!(
+    benches,
+    bench_sync_modes,
+    bench_termination,
+    bench_abstraction
+);
 criterion_main!(benches);

@@ -21,14 +21,23 @@ fn fig5_ir() -> ActionIr {
         name: "fig5".into(),
         generator: dgp_core::ir::GeneratorIr::None,
         slots: vec![
-            ReadRef::VertexProp { map: a, at: Place::Input },
+            ReadRef::VertexProp {
+                map: a,
+                at: Place::Input,
+            },
             ReadRef::VertexProp { map: b, at: n1 },
             ReadRef::VertexProp { map: val2, at: n2 },
-            ReadRef::VertexProp { map: c, at: Place::Input },
+            ReadRef::VertexProp {
+                map: c,
+                at: Place::Input,
+            },
             ReadRef::VertexProp { map: d, at: n3 },
             ReadRef::VertexProp { map: e, at: n4 },
             ReadRef::VertexProp { map: f, at: u },
-            ReadRef::VertexProp { map: val, at: n5.clone() },
+            ReadRef::VertexProp {
+                map: val,
+                at: n5.clone(),
+            },
         ],
         conditions: vec![ConditionIr {
             reads: (0..8).map(Slot).collect(),

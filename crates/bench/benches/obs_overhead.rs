@@ -1,0 +1,48 @@
+//! Overhead of the observability subsystem (`dgp-am::obs`): the same
+//! message-heavy SSSP run with profiling disabled (the default — spans
+//! compile to one `Option` branch), with span recording on, and with
+//! span recording plus a trace ring. The disabled row is the one that
+//! matters: it must stay within noise of the pre-obs runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dgp_algorithms::{seq, SsspStrategy};
+use dgp_am::MachineConfig;
+use dgp_bench::{measure, workloads};
+use dgp_core::engine::EngineConfig;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let el = workloads::rmat_weighted(11, 8, 41);
+    let oracle = seq::dijkstra(&el, 0);
+    let mut g = c.benchmark_group("obs/overhead");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("off", MachineConfig::new(4)),
+        ("profile", MachineConfig::new(4).profile(true)),
+        (
+            "profile+trace",
+            MachineConfig::new(4).profile(true).trace(256),
+        ),
+    ] {
+        let (el, oracle) = (el.clone(), oracle.clone());
+        g.bench_function(label, move |b| {
+            let cfg = cfg.clone();
+            b.iter(|| {
+                let m = measure::sssp_pattern(
+                    "sssp",
+                    &el,
+                    cfg.clone(),
+                    EngineConfig::default(),
+                    0,
+                    SsspStrategy::Delta(0.4),
+                    &oracle,
+                );
+                assert!(m.correct);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,15 +1,30 @@
 //! The experiment harness: regenerates every figure and experiment in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e10, or
-//! nothing (= all). Scale with `--small` for quick runs.
+//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e12, or
+//! nothing (= all). Scale with `--small` for quick runs. `--metrics DIR`
+//! makes E12 write `metrics.json` and `trace.json` (Chrome trace-event
+//! format, loadable in Perfetto / `chrome://tracing`) into DIR.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let metrics_dir: Option<PathBuf> = args.iter().position(|a| a == "--metrics").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics needs a directory argument");
+            std::process::exit(2);
+        }
+        let dir = PathBuf::from(args[i + 1].clone());
+        args.drain(i..=i + 1);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("--metrics {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        dir
+    });
     let ids: Vec<String> = args.into_iter().filter(|a| a != "--small").collect();
     let run_all = ids.is_empty();
     let want = |id: &str| run_all || ids.iter().any(|i| i == id);
@@ -63,6 +78,9 @@ fn main() {
     if want("e11") {
         exp::e11(small);
     }
+    if want("e12") {
+        exp::e12(small, metrics_dir.as_deref());
+    }
     eprintln!("\ntotal harness time: {:?}", t0.elapsed());
 }
 
@@ -115,7 +133,13 @@ mod exp {
             el.num_edges()
         );
         let mut t = Table::new(&[
-            "strategy", "time", "relaxations", "attempts", "messages", "epochs", "correct",
+            "strategy",
+            "time",
+            "relaxations",
+            "attempts",
+            "messages",
+            "epochs",
+            "correct",
         ]);
         for (label, strategy) in [
             ("fixed_point", SsspStrategy::FixedPoint),
@@ -151,7 +175,10 @@ mod exp {
         println!("  if (dist[trg(e)] > dist[v] + weight[e])");
         println!("    dist[trg(e)] = dist[v] + weight[e];\n");
         println!("dependency matrix (per condition, per modification — §III-C):");
-        println!("  {:?}  (dist is read AND written -> work items at trg(e))\n", relax.ir.dependency_matrix());
+        println!(
+            "  {:?}  (dist is read AND written -> work items at trg(e))\n",
+            relax.ir.dependency_matrix()
+        );
         for mode in [PlanMode::Faithful, PlanMode::Optimized] {
             let plan = compile(&relax.ir, mode).unwrap();
             println!("{plan}");
@@ -207,8 +234,14 @@ mod exp {
         let tree = DepTree::build(&[n1, n2, n3, n4, u, n5]);
         println!("reconstructed dependency tree (see DESIGN.md, F5):\n{tree}");
         let mut t = Table::new(&["traversal", "messages"]);
-        t.row(vec!["faithful depth-first (paper)".into(), tree.faithful_message_count().to_string()]);
-        t.row(vec!["straight-jump (dashed line)".into(), tree.optimized_message_count().to_string()]);
+        t.row(vec![
+            "faithful depth-first (paper)".into(),
+            tree.faithful_message_count().to_string(),
+        ]);
+        t.row(vec![
+            "straight-jump (dashed line)".into(),
+            tree.optimized_message_count().to_string(),
+        ]);
         t.print();
         assert_eq!(tree.faithful_message_count(), 8);
         assert_eq!(tree.optimized_message_count(), 6);
@@ -371,7 +404,13 @@ mod exp {
         let oracle = seq::dijkstra(&el, 0);
         println!("workload: weighted {side}x{side} grid (long diameter), 4 ranks\n");
         let mut t = Table::new(&[
-            "strategy", "time", "relaxations", "attempts", "messages", "epochs", "correct",
+            "strategy",
+            "time",
+            "relaxations",
+            "attempts",
+            "messages",
+            "epochs",
+            "correct",
         ]);
         for (label, strategy) in [
             ("delta Δ=0.25".to_string(), SsspStrategy::Delta(0.25)),
@@ -379,7 +418,10 @@ mod exp {
             ("delta Δ=4".to_string(), SsspStrategy::Delta(4.0)),
             ("delta Δ=16".to_string(), SsspStrategy::Delta(16.0)),
             ("delta-split Δ=1".to_string(), SsspStrategy::DeltaSplit(1.0)),
-            ("delta Δ=1e9 (1 bucket)".to_string(), SsspStrategy::Delta(1e9)),
+            (
+                "delta Δ=1e9 (1 bucket)".to_string(),
+                SsspStrategy::Delta(1e9),
+            ),
             ("fixed_point".to_string(), SsspStrategy::FixedPoint),
         ] {
             let m = measure::sssp_pattern(
@@ -410,7 +452,13 @@ mod exp {
         println!("workload: RMAT scale {scale}, SSSP Δ=0.4, 2 ranks x 4 threads\n");
         let mut t = Table::new(&["synchronization", "time", "correct"]);
         let configs: Vec<(&str, EngineConfig)> = vec![
-            ("atomic min (CAS)", EngineConfig { sync: SyncMode::Atomic, ..Default::default() }),
+            (
+                "atomic min (CAS)",
+                EngineConfig {
+                    sync: SyncMode::Atomic,
+                    ..Default::default()
+                },
+            ),
             (
                 "lock per vertex",
                 EngineConfig {
@@ -538,7 +586,14 @@ mod exp {
                 SsspStrategy::Delta(0.4),
                 &oracle,
             ),
-            measure::sssp_handwritten("hand-written AM", &el, MachineConfig::new(4), 0, None, &oracle),
+            measure::sssp_handwritten(
+                "hand-written AM",
+                &el,
+                MachineConfig::new(4),
+                0,
+                None,
+                &oracle,
+            ),
             measure::sssp_sequential(&el, 0),
         ];
         for m in rows {
@@ -644,11 +699,8 @@ mod exp {
         let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
             use dgp_core::strategies::once;
             use dgp_graph::properties::AtomicVertexMap;
-            let engine = dgp_core::engine::PatternEngine::new(
-                ctx,
-                g2.clone(),
-                EngineConfig::default(),
-            );
+            let engine =
+                dgp_core::engine::PatternEngine::new(ctx, g2.clone(), EngineConfig::default());
             let dist = g2.distribution();
             let rank_m = ctx.share(|| AtomicVertexMap::new(dist, 1.0f64));
             let deg = ctx.share(|| AtomicVertexMap::new(dist, 0u64));
@@ -692,11 +744,26 @@ mod exp {
             })
         });
         let (push_ms, push_msgs, pull_ms, pull_msgs, a, b) = out[0].take().unwrap();
-        assert!(a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-9), "identical sums");
-        t.row(vec!["push (pr_contribute)".into(), "1".into(), fmt_ms(push_ms), push_msgs.to_string()]);
-        t.row(vec!["pull (pr_pull)".into(), "2".into(), fmt_ms(pull_ms), pull_msgs.to_string()]);
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-9),
+            "identical sums"
+        );
+        t.row(vec![
+            "push (pr_contribute)".into(),
+            "1".into(),
+            fmt_ms(push_ms),
+            push_msgs.to_string(),
+        ]);
+        t.row(vec![
+            "pull (pr_pull)".into(),
+            "2".into(),
+            fmt_ms(pull_ms),
+            pull_msgs.to_string(),
+        ]);
         t.print();
-        println!("\nidentical accumulator values; the pull plan's extra gather hop doubles traffic.");
+        println!(
+            "\nidentical accumulator values; the pull plan's extra gather hop doubles traffic."
+        );
     }
 
     /// E10 — strategy generality matrix.
@@ -711,7 +778,13 @@ mod exp {
         let oracle = seq::dijkstra(&el, 0);
         println!("workload: RMAT scale {scale}, 3 ranks\n");
         let mut t = Table::new(&[
-            "strategy", "time", "relaxations", "attempts", "messages", "epochs", "correct",
+            "strategy",
+            "time",
+            "relaxations",
+            "attempts",
+            "messages",
+            "epochs",
+            "correct",
         ]);
         for (label, strategy) in [
             ("fixed_point", SsspStrategy::FixedPoint),
@@ -749,7 +822,15 @@ mod exp {
             let es = s.engine.stats();
             let relax_total = ctx.sum_ranks(es.conditions_true);
             let attempts = ctx.sum_ranks(es.items_generated);
-            (ctx.rank() == 0).then(|| (s.dist.snapshot(), rounds, relax_total, attempts, ctx.stats()))
+            (ctx.rank() == 0).then(|| {
+                (
+                    s.dist.snapshot(),
+                    rounds,
+                    relax_total,
+                    attempts,
+                    ctx.stats(),
+                )
+            })
         });
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let (dist, rounds, relax_total, attempts, am) = out[0].take().unwrap();
@@ -769,5 +850,77 @@ mod exp {
         t.print();
         println!("\nthe once-rounds schedule is user-defined from the same primitives the");
         println!("built-in strategies use — the paper's customization-point claim.");
+    }
+
+    /// E12 — per-epoch observability: profiles, metrics JSON, Chrome trace.
+    pub fn e12(small: bool, metrics_dir: Option<&std::path::Path>) {
+        header(
+            "E12",
+            "per-epoch profiles and span tracing (dgp-am::obs)",
+            "Figs. 5-6 method: per-phase message counts read off the runtime itself",
+        );
+        let scale = if small { 9 } else { 12 };
+        let el = workloads::rmat_weighted(scale, 8, 121);
+        let oracle = seq::dijkstra(&el, 0);
+        println!("workload: RMAT scale {scale}, Δ-stepping Δ=0.4, 3 ranks, profiling on\n");
+        let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+        let weights = EdgeMap::from_weights(&graph, &el);
+        let mut out = Machine::run(MachineConfig::new(3).profile(true), move |ctx| {
+            let s = Sssp::install(ctx, &graph, &weights, EngineConfig::default());
+            s.run(ctx, 0, SsspStrategy::Delta(0.4));
+            let dist = s.dist.snapshot();
+            (ctx.rank() == 0).then(|| {
+                (
+                    dist,
+                    ctx.metrics_report(),
+                    ctx.chrome_trace_json().expect("profiling is on"),
+                )
+            })
+        });
+        let (dist, report, trace) = out[0].take().unwrap();
+        let correct = dist
+            .iter()
+            .zip(&oracle)
+            .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()));
+        assert!(correct, "profiled run stays correct");
+
+        // The per-epoch table the harness derives its per-phase message
+        // counts from (one row per Δ-bucket drain round here).
+        let mut t = Table::new(&["epoch", "time", "messages", "envelopes", "msgs/env"]);
+        for p in &report.epoch_profiles {
+            t.row(vec![
+                p.epoch.to_string(),
+                fmt_ms(p.duration.as_secs_f64() * 1e3),
+                p.delta.messages_sent.to_string(),
+                p.delta.envelopes_sent.to_string(),
+                format!("{:.1}", p.coalescing_factor()),
+            ]);
+        }
+        t.print();
+        let total: u64 = report
+            .epoch_profiles
+            .iter()
+            .map(|p| p.delta.messages_sent)
+            .sum();
+        assert_eq!(total, report.cumulative.messages_sent);
+        println!(
+            "\n{} epochs; per-epoch deltas reassemble the cumulative {} messages exactly.",
+            report.epoch_profiles.len(),
+            total
+        );
+        if let Some(dir) = metrics_dir {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+            let mpath = dir.join("metrics.json");
+            let tpath = dir.join("trace.json");
+            std::fs::write(&mpath, report.to_json()).expect("write metrics.json");
+            std::fs::write(&tpath, trace).expect("write trace.json");
+            println!(
+                "wrote {} and {} (load the trace in Perfetto or chrome://tracing)",
+                mpath.display(),
+                tpath.display()
+            );
+        } else {
+            println!("(pass --metrics DIR to write metrics.json and trace.json)");
+        }
     }
 }

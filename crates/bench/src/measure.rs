@@ -5,7 +5,7 @@
 use std::time::Instant;
 
 use dgp_algorithms::{handwritten, seq, sssp::Sssp, SsspStrategy};
-use dgp_am::{Machine, MachineConfig};
+use dgp_am::{EpochProfile, Machine, MachineConfig};
 use dgp_core::engine::EngineConfig;
 use dgp_graph::properties::EdgeMap;
 use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
@@ -25,10 +25,16 @@ pub struct SsspMeasurement {
     pub messages: u64,
     /// Coalesced envelopes delivered.
     pub envelopes: u64,
-    /// Epochs run.
+    /// Machine-wide epochs run. The raw `StatsSnapshot::epochs` counter is
+    /// bumped by every rank entering the (collective) epoch, so it is
+    /// divided by the rank count here.
     pub epochs: u64,
     /// Whether the result matched the oracle.
     pub correct: bool,
+    /// Per-epoch counter deltas recorded by the runtime (`dgp-am::obs`):
+    /// one entry per epoch, in order. Empty for runs without a machine
+    /// (sequential baselines).
+    pub profiles: Vec<EpochProfile>,
 }
 
 fn dists_match(got: &[f64], want: &[f64]) -> bool {
@@ -50,8 +56,13 @@ pub fn sssp_pattern(
     strategy: SsspStrategy,
     oracle: &[f64],
 ) -> SsspMeasurement {
-    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let graph = DistGraph::build(
+        el,
+        Distribution::block(el.num_vertices(), machine.ranks),
+        false,
+    );
     let weights = EdgeMap::from_weights(&graph, el);
+    let ranks = machine.ranks as u64;
     let t0 = Instant::now();
     let mut out = Machine::run(machine, move |ctx| {
         let s = Sssp::install(ctx, &graph, &weights, engine_cfg);
@@ -59,10 +70,18 @@ pub fn sssp_pattern(
         let es = s.engine.stats();
         let relaxations = ctx.sum_ranks(es.conditions_true);
         let attempts = ctx.sum_ranks(es.items_generated);
-        (ctx.rank() == 0).then(|| (s.dist.snapshot(), relaxations, attempts, ctx.stats()))
+        (ctx.rank() == 0).then(|| {
+            (
+                s.dist.snapshot(),
+                relaxations,
+                attempts,
+                ctx.stats(),
+                ctx.epoch_profiles(),
+            )
+        })
     });
     let millis = t0.elapsed().as_secs_f64() * 1e3;
-    let (dist, relaxations, attempts, am) = out[0].take().unwrap();
+    let (dist, relaxations, attempts, am, profiles) = out[0].take().unwrap();
     SsspMeasurement {
         label: label.to_string(),
         millis,
@@ -70,8 +89,9 @@ pub fn sssp_pattern(
         attempts,
         messages: am.messages_sent,
         envelopes: am.envelopes_sent,
-        epochs: am.epochs,
+        epochs: am.epochs / ranks,
         correct: dists_match(&dist, oracle),
+        profiles,
     }
 }
 
@@ -84,18 +104,23 @@ pub fn sssp_handwritten(
     reduction_slots: Option<usize>,
     oracle: &[f64],
 ) -> SsspMeasurement {
-    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let graph = DistGraph::build(
+        el,
+        Distribution::block(el.num_vertices(), machine.ranks),
+        false,
+    );
     let weights = EdgeMap::from_weights(&graph, el);
+    let ranks = machine.ranks as u64;
     let t0 = Instant::now();
     let mut out = Machine::run(machine, move |ctx| {
         let d = match reduction_slots {
             None => handwritten::sssp(ctx, &graph, &weights, source),
             Some(slots) => handwritten::sssp_reduced(ctx, &graph, &weights, source, slots),
         };
-        (ctx.rank() == 0).then(|| (d.snapshot(), ctx.stats()))
+        (ctx.rank() == 0).then(|| (d.snapshot(), ctx.stats(), ctx.epoch_profiles()))
     });
     let millis = t0.elapsed().as_secs_f64() * 1e3;
-    let (dist, am) = out[0].take().unwrap();
+    let (dist, am, profiles) = out[0].take().unwrap();
     SsspMeasurement {
         label: label.to_string(),
         millis,
@@ -103,8 +128,9 @@ pub fn sssp_handwritten(
         attempts: 0,
         messages: am.messages_sent,
         envelopes: am.envelopes_sent,
-        epochs: am.epochs,
+        epochs: am.epochs / ranks,
         correct: dists_match(&dist, oracle),
+        profiles,
     }
 }
 
@@ -122,6 +148,7 @@ pub fn sssp_sequential(el: &EdgeList, source: VertexId) -> SsspMeasurement {
         envelopes: 0,
         epochs: 0,
         correct: !dist.is_empty(),
+        profiles: Vec::new(),
     }
 }
 
@@ -143,7 +170,11 @@ pub struct CcMeasurement {
 /// Run pattern-engine parallel-search CC and measure.
 pub fn cc_pattern(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasurement {
     let want = seq::cc_labels(el);
-    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let graph = DistGraph::build(
+        el,
+        Distribution::block(el.num_vertices(), machine.ranks),
+        false,
+    );
     let t0 = Instant::now();
     let mut out = Machine::run(machine, move |ctx| {
         let labels = dgp_algorithms::cc::cc(ctx, &graph);
@@ -157,7 +188,11 @@ pub fn cc_pattern(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasu
 /// Run hand-written label-propagation CC and measure.
 pub fn cc_label_prop(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasurement {
     let want = seq::cc_labels(el);
-    let graph = DistGraph::build(el, Distribution::block(el.num_vertices(), machine.ranks), false);
+    let graph = DistGraph::build(
+        el,
+        Distribution::block(el.num_vertices(), machine.ranks),
+        false,
+    );
     let t0 = Instant::now();
     let mut out = Machine::run(machine, move |ctx| {
         let labels = handwritten::cc_label_propagation(ctx, &graph);
@@ -226,6 +261,11 @@ mod tests {
         assert!(m.messages > 0);
         assert!(m.relaxations > 0);
         assert!(m.relaxations <= m.attempts);
+        // Epoch profiles: one per epoch, and their message deltas
+        // reassemble the cumulative total.
+        assert_eq!(m.profiles.len() as u64, m.epochs);
+        let profiled: u64 = m.profiles.iter().map(|p| p.delta.messages_sent).sum();
+        assert_eq!(profiled, m.messages);
     }
 
     #[test]

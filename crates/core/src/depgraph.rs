@@ -160,7 +160,10 @@ impl DepTree {
     }
 
     fn subtree_has_required(&self, node: usize) -> bool {
-        self.required[node] || self.children[node].iter().any(|&c| self.subtree_has_required(c))
+        self.required[node]
+            || self.children[node]
+                .iter()
+                .any(|&c| self.subtree_has_required(c))
     }
 
     /// Messages needed by the faithful walk.

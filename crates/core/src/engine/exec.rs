@@ -1,11 +1,12 @@
 //! The plan interpreter.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
 use dgp_am::machine::HandlerCtx;
-use dgp_am::{AmCtx, MessageType};
+use dgp_am::{AmCtx, MessageType, SpanKind};
 use dgp_graph::{DistGraph, LockMap, VertexId};
 
 use crate::engine::maps::ErasedMap;
@@ -80,6 +81,10 @@ enum SlotReader {
 pub(crate) struct CompiledAction {
     pub ir: ActionIr,
     pub plan: plan::ExecPlan,
+    /// `ActionMsg` sends attributed to this action on this rank (initial
+    /// invocations plus remote `Goto` hops) — the per-action share of the
+    /// machine's message counts.
+    msgs_sent: AtomicU64,
     tests: Vec<crate::builder::TestFn>,
     mods: Vec<Vec<ModExec>>,
     dep: Vec<Vec<bool>>,
@@ -219,9 +224,7 @@ impl PatternEngine {
                     map: *map as usize,
                     resolver: resolver_for(&ir, at)?,
                 }),
-                ReadRef::EdgeProp { map } => Ok(SlotReader::Edge {
-                    map: *map as usize,
-                }),
+                ReadRef::EdgeProp { map } => Ok(SlotReader::Edge { map: *map as usize }),
             })
             .collect::<Result<Vec<_>, String>>()?;
         let mod_target_resolvers = ir
@@ -238,6 +241,7 @@ impl PatternEngine {
         let compiled = Arc::new(CompiledAction {
             ir,
             plan,
+            msgs_sent: AtomicU64::new(0),
             tests,
             mods,
             dep,
@@ -280,6 +284,9 @@ impl PatternEngine {
             gen: GenItem::None,
             env: EnvArr::default(),
         };
+        self.inner.actions.read()[action as usize]
+            .msgs_sent
+            .fetch_add(1, Ordering::Relaxed);
         let mt = *self.inner.msg.get().expect("engine constructed");
         mt.send(ctx, self.inner.graph.owner(v), msg);
     }
@@ -303,6 +310,20 @@ impl PatternEngine {
     pub fn stats(&self) -> EngineStatsSnapshot {
         self.inner.stats.snapshot()
     }
+
+    /// Per-action message counts on this rank: `(action name, ActionMsg
+    /// sends)`, in registration order. Attributes the machine's message
+    /// traffic to the actions that caused it (initial invocations plus
+    /// remote `Goto` hops; inline same-rank hops send nothing and are
+    /// not counted).
+    pub fn action_message_counts(&self) -> Vec<(String, u64)> {
+        self.inner
+            .actions
+            .read()
+            .iter()
+            .map(|a| (a.ir.name.clone(), a.msgs_sent.load(Ordering::Relaxed)))
+            .collect()
+    }
 }
 
 fn resolver_for(ir: &ActionIr, p: &Place) -> Result<Resolver, String> {
@@ -315,13 +336,11 @@ fn resolver_for(ir: &ActionIr, p: &Place) -> Result<Resolver, String> {
             let slot = ir
                 .slots
                 .iter()
-                .position(|r| {
-                    matches!(r, ReadRef::VertexProp { map, at } if map == m && at == &**inner)
-                })
+                .position(
+                    |r| matches!(r, ReadRef::VertexProp { map, at } if map == m && at == &**inner),
+                )
                 .ok_or_else(|| {
-                    format!(
-                        "place {m}[{inner:?}] needs its resolving read declared as a slot"
-                    )
+                    format!("place {m}[{inner:?}] needs its resolving read declared as a slot")
                 })?;
             Resolver::FromSlot(slot)
         }
@@ -381,10 +400,15 @@ impl EngineInner {
         debug_assert_eq!(self.graph.owner(msg.v), self.rank);
         EngineStats::bump(&self.stats.actions_started);
         let action = self.actions.read()[msg.action as usize].clone();
+        let mut expand_span = ctx
+            .span(SpanKind::Expand, "engine.expand")
+            .map(|s| s.args(msg.action as u64, 0));
+        let expanded = std::cell::Cell::new(0u64);
         let shard = self.graph.shard(self.rank);
         let li = shard.local_of(msg.v);
         let launch = |gen: GenItem| {
             EngineStats::bump(&self.stats.items_generated);
+            expanded.set(expanded.get() + 1);
             let m = ActionMsg {
                 pc: 0,
                 at: msg.v,
@@ -417,8 +441,14 @@ impl EngineInner {
                 let threshold = f64::from_bits(threshold_bits);
                 let maps = self.maps.read();
                 for (eidx, trg) in shard.out_edges(li) {
-                    let w = maps[weight as usize].read_edge(self.rank, eidx, false).as_f64();
-                    let keep = if keep_light { w <= threshold } else { w > threshold };
+                    let w = maps[weight as usize]
+                        .read_edge(self.rank, eidx, false)
+                        .as_f64();
+                    let keep = if keep_light {
+                        w <= threshold
+                    } else {
+                        w > threshold
+                    };
                     if keep {
                         launch(GenItem::Edge {
                             src: msg.v,
@@ -451,6 +481,9 @@ impl EngineInner {
                 }
             }
         }
+        if let Some(s) = expand_span.as_mut() {
+            s.set_arg1(expanded.get());
+        }
     }
 
     /// Interpret steps until the instance ends or moves to another vertex.
@@ -465,6 +498,7 @@ impl EngineInner {
                         msg.at = target;
                         let dest = self.graph.owner(target);
                         if dest != self.rank || self.cfg.self_send {
+                            action.msgs_sent.fetch_add(1, Ordering::Relaxed);
                             let mt = *self.msg.get().expect("engine constructed");
                             mt.send(ctx, dest, msg);
                             return;
@@ -473,6 +507,9 @@ impl EngineInner {
                     }
                 }
                 ExecStep::Gather { slots, next } => {
+                    let _s = ctx
+                        .span(SpanKind::Gather, "engine.gather")
+                        .map(|s| s.args(msg.action as u64, slots.len() as u64));
                     for &s in slots {
                         let val = self.read_slot(&action, &msg, s);
                         msg.env.set(s, val);
@@ -485,6 +522,9 @@ impl EngineInner {
                     on_true,
                     on_false,
                 } => {
+                    let _s = ctx
+                        .span(SpanKind::Eval, "engine.eval")
+                        .map(|s| s.args(msg.action as u64, *cond as u64));
                     for &s in local_slots {
                         let val = self.read_slot(&action, &msg, s);
                         msg.env.set(s, val);
@@ -511,6 +551,9 @@ impl EngineInner {
                     on_true,
                     on_false,
                 } => {
+                    let _s = ctx
+                        .span(SpanKind::Eval, "engine.eval_modify")
+                        .map(|s| s.args(msg.action as u64, *cond as u64));
                     let fired = self.eval_modify(ctx, &action, &mut msg, *cond, local_slots, mods);
                     msg.pc = (if fired { *on_true } else { *on_false }) as u32;
                 }
@@ -520,6 +563,9 @@ impl EngineInner {
                     mods,
                     next,
                 } => {
+                    let _s = ctx
+                        .span(SpanKind::Eval, "engine.modify")
+                        .map(|s| s.args(msg.action as u64, *cond as u64));
                     self.apply_group(ctx, &action, &mut msg, *cond, local_slots, mods, None);
                     msg.pc = *next as u32;
                 }
@@ -543,10 +589,7 @@ impl EngineInner {
         // Atomic fast path: a single assignment whose target is the only
         // value read fresh here — the condition+modification collapses into
         // one atomic read-modify-write (SSSP relax).
-        if self.cfg.sync == SyncMode::Atomic
-            && mods.len() == 1
-            && local_slots.len() == 1
-        {
+        if self.cfg.sync == SyncMode::Atomic && mods.len() == 1 && local_slots.len() == 1 {
             let mi = mods[0];
             let m = &action.ir.conditions[cond].mods[mi];
             let slot = local_slots[0];
@@ -564,10 +607,8 @@ impl EngineInner {
                 let compute = &action.mods[cond][mi].compute;
                 let (v_in, gen) = (msg.v, msg.gen);
                 let env_base = msg.env;
-                let (_, new, changed) = self.maps.read()[m.map as usize].update_vertex(
-                    self.rank,
-                    target,
-                    &|old| {
+                let (_, new, changed) =
+                    self.maps.read()[m.map as usize].update_vertex(self.rank, target, &|old| {
                         let mut env = env_base;
                         env.set(slot, old);
                         let view = EnvView {
@@ -580,8 +621,7 @@ impl EngineInner {
                         } else {
                             old
                         }
-                    },
-                );
+                    });
                 msg.env.set(slot, new);
                 EngineStats::bump(if changed {
                     &self.stats.conditions_true

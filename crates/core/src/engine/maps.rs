@@ -67,12 +67,7 @@ pub trait ErasedMap: Send + Sync {
 
     /// Atomic read-modify-write at owned vertex `v` (the §IV-B "atomic
     /// instructions where supported" path). Returns (old, new, changed).
-    fn update_vertex(
-        &self,
-        rank: usize,
-        v: VertexId,
-        f: &dyn Fn(Val) -> Val,
-    ) -> (Val, Val, bool) {
+    fn update_vertex(&self, rank: usize, v: VertexId, f: &dyn Fn(Val) -> Val) -> (Val, Val, bool) {
         let _ = (rank, v, f);
         panic!("not an atomically-updatable vertex property map");
     }
@@ -121,12 +116,7 @@ impl<T: ValCodec + AtomicValue> ErasedMap for AtomicMapHandle<T> {
         old.to_val()
     }
 
-    fn update_vertex(
-        &self,
-        rank: usize,
-        v: VertexId,
-        f: &dyn Fn(Val) -> Val,
-    ) -> (Val, Val, bool) {
+    fn update_vertex(&self, rank: usize, v: VertexId, f: &dyn Fn(Val) -> Val) -> (Val, Val, bool) {
         let out = self.map.update(rank, v, |old| T::from_val(f(old.to_val())));
         (out.old.to_val(), out.new.to_val(), out.changed)
     }
@@ -192,10 +182,7 @@ mod tests {
         assert_eq!(i64::from_val((-3i64).to_val()), -3);
         assert!(bool::from_val(true.to_val()));
         assert_eq!(u32::from_val(7u32.to_val()), 7);
-        assert_eq!(
-            Option::<VertexId>::from_val(Some(4).to_val()),
-            Some(4)
-        );
+        assert_eq!(Option::<VertexId>::from_val(Some(4).to_val()), Some(4));
         assert_eq!(Option::<VertexId>::from_val(None.to_val()), None);
     }
 

@@ -129,8 +129,7 @@ impl EngineStatsSnapshot {
             conditions_true: self.conditions_true - earlier.conditions_true,
             conditions_false: self.conditions_false - earlier.conditions_false,
             modifications_changed: self.modifications_changed - earlier.modifications_changed,
-            modifications_unchanged: self.modifications_unchanged
-                - earlier.modifications_unchanged,
+            modifications_unchanged: self.modifications_unchanged - earlier.modifications_unchanged,
             dependencies_fired: self.dependencies_fired - earlier.dependencies_fired,
         }
     }

@@ -217,19 +217,11 @@ impl ActionIr {
     /// work item is created for it). Returns, per condition, per
     /// modification, whether it creates dependencies.
     pub fn dependency_matrix(&self) -> Vec<Vec<bool>> {
-        let read_maps: std::collections::HashSet<MapId> = self
-            .slots
-            .iter()
-            .map(|r| r.map())
-            .collect();
+        let read_maps: std::collections::HashSet<MapId> =
+            self.slots.iter().map(|r| r.map()).collect();
         self.conditions
             .iter()
-            .map(|c| {
-                c.mods
-                    .iter()
-                    .map(|m| read_maps.contains(&m.map))
-                    .collect()
-            })
+            .map(|c| c.mods.iter().map(|m| read_maps.contains(&m.map)).collect())
             .collect()
     }
 
@@ -254,12 +246,7 @@ impl ActionIr {
         if self.conditions.is_empty() {
             return Err(format!("action {:?} has no conditions", self.name));
         }
-        if self
-            .conditions
-            .first()
-            .map(|c| c.is_else)
-            .unwrap_or(false)
-        {
+        if self.conditions.first().map(|c| c.is_else).unwrap_or(false) {
             return Err("first condition cannot be an else".into());
         }
         let check_place = |p: &Place| -> Result<(), String> {
@@ -267,10 +254,7 @@ impl ActionIr {
             loop {
                 match cur {
                     Place::GenVertex => {
-                        if !matches!(
-                            self.generator,
-                            GeneratorIr::Adj | GeneratorIr::MapSet(_)
-                        ) {
+                        if !matches!(self.generator, GeneratorIr::Adj | GeneratorIr::MapSet(_)) {
                             return Err(format!(
                                 "action {:?} uses the generated vertex without a vertex generator",
                                 self.name
@@ -325,7 +309,9 @@ impl ActionIr {
                 check_place(&m.at)?;
                 for &Slot(s) in &m.reads {
                     if s >= self.slots.len() {
-                        return Err(format!("modification in condition {ci} reads undeclared slot {s}"));
+                        return Err(format!(
+                            "modification in condition {ci} reads undeclared slot {s}"
+                        ));
                     }
                 }
             }
@@ -434,8 +420,14 @@ mod tests {
             name: "relax".into(),
             generator: GeneratorIr::OutEdges,
             slots: vec![
-                ReadRef::VertexProp { map: dist, at: Place::GenTrg },
-                ReadRef::VertexProp { map: dist, at: Place::Input },
+                ReadRef::VertexProp {
+                    map: dist,
+                    at: Place::GenTrg,
+                },
+                ReadRef::VertexProp {
+                    map: dist,
+                    at: Place::Input,
+                },
                 ReadRef::EdgeProp { map: weight },
             ],
             conditions: vec![ConditionIr {
@@ -464,7 +456,10 @@ mod tests {
 
     #[test]
     fn read_localities() {
-        let r = ReadRef::VertexProp { map: 0, at: Place::GenTrg };
+        let r = ReadRef::VertexProp {
+            map: 0,
+            at: Place::GenTrg,
+        };
         assert_eq!(r.locality(), Place::GenTrg);
         let e = ReadRef::EdgeProp { map: 1 };
         assert_eq!(e.locality(), Place::Input);

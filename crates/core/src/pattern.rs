@@ -314,12 +314,8 @@ mod tests {
                 let x = p.vertex_property("x", 0u64);
                 let mut b = ActionBuilder::new("noop", GeneratorIr::None);
                 let xs = b.read_vertex(x, Place::Input);
-                b.cond(&[xs], move |e| e.u64(xs) == 1).assign(
-                    x,
-                    Place::Input,
-                    &[],
-                    |_, _| Val::U(0),
-                );
+                b.cond(&[xs], move |e| e.u64(xs) == 1)
+                    .assign(x, Place::Input, &[], |_, _| Val::U(0));
                 p.action(b.build().unwrap());
                 let pat = p
                     .install(ctx, &graph, Some(&el), EngineConfig::default())

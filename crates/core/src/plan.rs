@@ -160,8 +160,14 @@ struct Compiler<'a> {
 
 #[derive(Debug, Clone)]
 enum RawStep {
-    Goto { to: usize, next: Target },
-    Gather { slots: Vec<usize>, next: Target },
+    Goto {
+        to: usize,
+        next: Target,
+    },
+    Gather {
+        slots: Vec<usize>,
+        next: Target,
+    },
     Eval {
         cond: usize,
         local_slots: Vec<usize>,
@@ -704,7 +710,11 @@ pub fn verify(ir: &ActionIr, plan: &ExecPlan) -> Result<(), String> {
                 filled.extend(local_slots.iter().copied());
                 demand(&filled, &ir.conditions[*cond].reads, "condition test")?;
                 for &mi in mods {
-                    demand(&filled, &ir.conditions[*cond].mods[mi].reads, "merged modification")?;
+                    demand(
+                        &filled,
+                        &ir.conditions[*cond].mods[mi].reads,
+                        "merged modification",
+                    )?;
                 }
                 stack.push((*on_true, filled.clone()));
                 stack.push((*on_false, filled));
@@ -717,7 +727,11 @@ pub fn verify(ir: &ActionIr, plan: &ExecPlan) -> Result<(), String> {
             } => {
                 filled.extend(local_slots.iter().copied());
                 for &mi in mods {
-                    demand(&filled, &ir.conditions[*cond].mods[mi].reads, "modification group")?;
+                    demand(
+                        &filled,
+                        &ir.conditions[*cond].mods[mi].reads,
+                        "modification group",
+                    )?;
                 }
                 stack.push((*next, filled));
             }
@@ -822,11 +836,7 @@ impl std::fmt::Display for ExecPlan {
 
 impl std::fmt::Display for CommPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "{} message(s) in {:?} mode:",
-            self.messages, self.mode
-        )?;
+        writeln!(f, "{} message(s) in {:?} mode:", self.messages, self.mode)?;
         for (from, to) in &self.hops {
             writeln!(f, "  {from:?} -> {to:?}")?;
         }
@@ -892,9 +902,9 @@ mod tests {
             .steps
             .iter()
             .find_map(|s| match s {
-                ExecStep::EvalModify { local_slots, mods, .. } => {
-                    Some((local_slots.clone(), mods.clone()))
-                }
+                ExecStep::EvalModify {
+                    local_slots, mods, ..
+                } => Some((local_slots.clone(), mods.clone())),
                 _ => None,
             })
             .expect("merged step exists");
@@ -920,14 +930,23 @@ mod tests {
             name: "fig5".into(),
             generator: GeneratorIr::None,
             slots: vec![
-                ReadRef::VertexProp { map: a, at: Place::Input }, // resolves n1
-                ReadRef::VertexProp { map: b, at: n1 },           // value at n1, resolves n2
-                ReadRef::VertexProp { map: val2, at: n2 },        // value at n2
-                ReadRef::VertexProp { map: c, at: Place::Input }, // resolves n3
-                ReadRef::VertexProp { map: d, at: n3 },           // value at n3, resolves n4
-                ReadRef::VertexProp { map: e, at: n4 },           // value at n4, resolves u
-                ReadRef::VertexProp { map: f, at: u },            // value at u, resolves n5
-                ReadRef::VertexProp { map: val, at: n5.clone() }, // value at n5
+                ReadRef::VertexProp {
+                    map: a,
+                    at: Place::Input,
+                }, // resolves n1
+                ReadRef::VertexProp { map: b, at: n1 }, // value at n1, resolves n2
+                ReadRef::VertexProp { map: val2, at: n2 }, // value at n2
+                ReadRef::VertexProp {
+                    map: c,
+                    at: Place::Input,
+                }, // resolves n3
+                ReadRef::VertexProp { map: d, at: n3 }, // value at n3, resolves n4
+                ReadRef::VertexProp { map: e, at: n4 }, // value at n4, resolves u
+                ReadRef::VertexProp { map: f, at: u },  // value at u, resolves n5
+                ReadRef::VertexProp {
+                    map: val,
+                    at: n5.clone(),
+                }, // value at n5
             ],
             conditions: vec![ConditionIr {
                 reads: (0..8).map(Slot).collect(),
@@ -982,16 +1001,27 @@ mod tests {
         let ir = ActionIr {
             name: "chain".into(),
             generator: GeneratorIr::None,
-            slots: vec![ReadRef::VertexProp { map: m, at: Place::Input }],
+            slots: vec![ReadRef::VertexProp {
+                map: m,
+                at: Place::Input,
+            }],
             conditions: vec![
                 ConditionIr {
                     reads: vec![Slot(0)],
-                    mods: vec![ModificationIr { map: 1, at: Place::Input, reads: vec![] }],
+                    mods: vec![ModificationIr {
+                        map: 1,
+                        at: Place::Input,
+                        reads: vec![],
+                    }],
                     is_else: false,
                 },
                 ConditionIr {
                     reads: vec![Slot(0)],
-                    mods: vec![ModificationIr { map: 2, at: Place::Input, reads: vec![] }],
+                    mods: vec![ModificationIr {
+                        map: 2,
+                        at: Place::Input,
+                        reads: vec![],
+                    }],
                     is_else: true,
                 },
             ],
@@ -1005,7 +1035,9 @@ mod tests {
             .steps
             .iter()
             .find_map(|s| match s {
-                ExecStep::EvalModify { cond: 0, on_true, .. } => Some(*on_true),
+                ExecStep::EvalModify {
+                    cond: 0, on_true, ..
+                } => Some(*on_true),
                 _ => None,
             })
             .unwrap();
@@ -1019,16 +1051,27 @@ mod tests {
         let ir = ActionIr {
             name: "elide".into(),
             generator: GeneratorIr::Adj,
-            slots: vec![ReadRef::VertexProp { map: 0, at: Place::GenVertex }],
+            slots: vec![ReadRef::VertexProp {
+                map: 0,
+                at: Place::GenVertex,
+            }],
             conditions: vec![
                 ConditionIr {
                     reads: vec![Slot(0)],
-                    mods: vec![ModificationIr { map: 1, at: Place::Input, reads: vec![Slot(0)] }],
+                    mods: vec![ModificationIr {
+                        map: 1,
+                        at: Place::Input,
+                        reads: vec![Slot(0)],
+                    }],
                     is_else: false,
                 },
                 ConditionIr {
                     reads: vec![Slot(0)],
-                    mods: vec![ModificationIr { map: 2, at: Place::Input, reads: vec![Slot(0)] }],
+                    mods: vec![ModificationIr {
+                        map: 2,
+                        at: Place::Input,
+                        reads: vec![Slot(0)],
+                    }],
                     is_else: false,
                 },
             ],
@@ -1050,10 +1093,17 @@ mod tests {
         let ir = ActionIr {
             name: "local".into(),
             generator: GeneratorIr::None,
-            slots: vec![ReadRef::VertexProp { map: 0, at: Place::Input }],
+            slots: vec![ReadRef::VertexProp {
+                map: 0,
+                at: Place::Input,
+            }],
             conditions: vec![ConditionIr {
                 reads: vec![Slot(0)],
-                mods: vec![ModificationIr { map: 0, at: Place::Input, reads: vec![Slot(0)] }],
+                mods: vec![ModificationIr {
+                    map: 0,
+                    at: Place::Input,
+                    reads: vec![Slot(0)],
+                }],
                 is_else: false,
             }],
         };

@@ -1,6 +1,6 @@
 //! The `fixed_point` and `once` strategies (§II).
 
-use dgp_am::AmCtx;
+use dgp_am::{AmCtx, SpanKind};
 use dgp_graph::VertexId;
 use std::sync::Arc;
 
@@ -20,12 +20,10 @@ use crate::engine::{ActionId, PatternEngine};
 /// indirectly in the work hook is finished before the strategy exits".
 ///
 /// Collective; `seeds` is this rank's portion of the start set.
-pub fn fixed_point(
-    ctx: &AmCtx,
-    engine: &PatternEngine,
-    action: ActionId,
-    seeds: &[VertexId],
-) {
+pub fn fixed_point(ctx: &AmCtx, engine: &PatternEngine, action: ActionId, seeds: &[VertexId]) {
+    let _span = ctx
+        .span(SpanKind::Strategy, "strategy.fixed_point")
+        .map(|s| s.args(action as u64, seeds.len() as u64));
     let rerun = engine.clone();
     engine.set_work_hook(
         action,
@@ -48,12 +46,10 @@ pub fn fixed_point(
 /// §III-C default).
 ///
 /// Collective; `vertices` is this rank's portion of the input set.
-pub fn once(
-    ctx: &AmCtx,
-    engine: &PatternEngine,
-    action: ActionId,
-    vertices: &[VertexId],
-) -> bool {
+pub fn once(ctx: &AmCtx, engine: &PatternEngine, action: ActionId, vertices: &[VertexId]) -> bool {
+    let _span = ctx
+        .span(SpanKind::Strategy, "strategy.once")
+        .map(|s| s.args(action as u64, vertices.len() as u64));
     let before = engine.stats().modifications_changed;
     ctx.epoch(|ctx| {
         for &v in vertices {

@@ -74,7 +74,11 @@ impl Buckets {
 
     /// Whether bucket `i` is empty.
     pub fn is_empty_at(&self, i: usize) -> bool {
-        self.inner.lock().buckets.get(i).is_none_or(|b| b.is_empty())
+        self.inner
+            .lock()
+            .buckets
+            .get(i)
+            .is_none_or(|b| b.is_empty())
     }
 
     /// Lowest non-empty bucket index at or after `from`.

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use dgp_am::AmCtx;
+use dgp_am::{AmCtx, SpanKind};
 use dgp_graph::properties::AtomicVertexMap;
 use dgp_graph::VertexId;
 
@@ -72,6 +72,11 @@ pub fn delta_stepping(
             break;
         }
         let i = global as usize;
+        // arg1 = drain rounds this bucket needed before it stayed empty.
+        let mut bucket_span = ctx
+            .span(SpanKind::Strategy, "delta.bucket")
+            .map(|s| s.args(i as u64, 0));
+        let mut rounds = 0u64;
         // Empty bucket i; handlers may refill it while we drain, so retest
         // collectively after every epoch.
         loop {
@@ -81,10 +86,14 @@ pub fn delta_stepping(
                 }
             });
             epochs += 1;
+            rounds += 1;
             let refilled = ctx.any_rank(!buckets.is_empty_at(i));
             if !refilled {
                 break;
             }
+        }
+        if let Some(s) = bucket_span.as_mut() {
+            s.set_arg1(rounds);
         }
     }
     engine.clear_work_hook(action);
@@ -141,22 +150,33 @@ pub fn delta_stepping_split(
         // Phase 1: settle bucket i with light edges only, remembering who
         // was settled.
         let mut settled: Vec<VertexId> = Vec::new();
-        loop {
-            ctx.epoch(|ctx| {
-                while let Some(v) = buckets.pop(i) {
-                    settled.push(v);
-                    engine.run_at(ctx, light, v);
+        {
+            let mut light_span = ctx
+                .span(SpanKind::Strategy, "delta.light")
+                .map(|s| s.args(i as u64, 0));
+            loop {
+                ctx.epoch(|ctx| {
+                    while let Some(v) = buckets.pop(i) {
+                        settled.push(v);
+                        engine.run_at(ctx, light, v);
+                    }
+                });
+                epochs += 1;
+                let refilled = ctx.any_rank(!buckets.is_empty_at(i));
+                if !refilled {
+                    break;
                 }
-            });
-            epochs += 1;
-            let refilled = ctx.any_rank(!buckets.is_empty_at(i));
-            if !refilled {
-                break;
+            }
+            if let Some(s) = light_span.as_mut() {
+                s.set_arg1(settled.len() as u64);
             }
         }
         // Phase 2: heavy edges of everything settled in this bucket, once.
         settled.sort_unstable();
         settled.dedup();
+        let _heavy_span = ctx
+            .span(SpanKind::Strategy, "delta.heavy")
+            .map(|s| s.args(i as u64, settled.len() as u64));
         ctx.epoch(|ctx| {
             for &v in &settled {
                 engine.run_at(ctx, heavy, v);
@@ -202,6 +222,7 @@ pub fn delta_stepping_async(
     );
 
     let mut attempts = 0;
+    let mut async_span = ctx.span(SpanKind::Strategy, "delta.async");
     ctx.epoch(|ctx| loop {
         // Drain lowest buckets first (the label-correcting order heuristic;
         // any order converges).
@@ -219,6 +240,9 @@ pub fn delta_stepping_async(
         // Rejected — perform whatever work arrived meanwhile.
         ctx.epoch_flush();
     });
+    if let Some(s) = async_span.as_mut() {
+        s.set_arg1(attempts as u64);
+    }
     engine.clear_work_hook(action);
     attempts
 }

@@ -86,9 +86,9 @@ impl ExecPlan {
                     format!("eval+modify c{cond} {mods:?}"),
                     vec![(*on_true, "T"), (*on_false, "F")],
                 ),
-                ExecStep::ModifyGroup { cond, mods, next, .. } => {
-                    (format!("modify c{cond} {mods:?}"), vec![(*next, "")])
-                }
+                ExecStep::ModifyGroup {
+                    cond, mods, next, ..
+                } => (format!("modify c{cond} {mods:?}"), vec![(*next, "")]),
                 ExecStep::End => ("end".into(), vec![]),
             };
             out.push_str(&format!("  s{i} [label=\"{i}: {label}\"];\n"));

@@ -18,10 +18,7 @@ fn line_graph(n: u64, ranks: usize) -> DistGraph {
     DistGraph::build(&el, Distribution::block(n, ranks), false)
 }
 
-fn with_machine<R: Send>(
-    ranks: usize,
-    f: impl Fn(&AmCtx) -> Option<R> + Send + Sync,
-) -> R {
+fn with_machine<R: Send>(ranks: usize, f: impl Fn(&AmCtx) -> Option<R> + Send + Sync) -> R {
     let mut out = Machine::run(MachineConfig::new(ranks), f);
     out.remove(0).expect("rank 0 reports")
 }
@@ -110,10 +107,12 @@ fn unmerged_modification_group_executes() {
         let mut b = ActionBuilder::new("unmerged", GeneratorIr::OutEdges);
         let f_v = b.read_vertex(flag_id, Place::Input);
         let aux_t = b.read_vertex(aux_id, Place::GenTrg);
-        b.cond(&[f_v], move |e| e.bool(f_v))
-            .assign(out_id, Place::GenTrg, &[aux_t], move |e, _| {
-                Val::U(e.u64(aux_t) + 1)
-            });
+        b.cond(&[f_v], move |e| e.bool(f_v)).assign(
+            out_id,
+            Place::GenTrg,
+            &[aux_t],
+            move |e, _| Val::U(e.u64(aux_t) + 1),
+        );
         let built = b.build().unwrap();
         // The group reads aux[trg(e)] (locality GenTrg), which is not among
         // the condition's localities ({Input}) -> no merge.
@@ -198,10 +197,12 @@ fn mapset_generator_fans_out() {
 
         let mut b = ActionBuilder::new("ping", GeneratorIr::MapSet(friends_id));
         let p_u = b.read_vertex(pinged_id, Place::GenVertex);
-        b.cond(&[p_u], move |e| e.u64(p_u) == 0)
-            .assign(pinged_id, Place::GenVertex, &[], move |e, _| {
-                Val::U(e.input() + 100)
-            });
+        b.cond(&[p_u], move |e| e.u64(p_u) == 0).assign(
+            pinged_id,
+            Place::GenVertex,
+            &[],
+            move |e, _| Val::U(e.input() + 100),
+        );
         let action = engine.add_action(b.build().unwrap()).unwrap();
 
         let seeds: Vec<_> = (graph.owner(0) == r).then_some(0).into_iter().collect();
@@ -331,9 +332,7 @@ fn atomic_and_lock_paths_agree_under_contention() {
             );
             let d_id = engine.register_vertex_map(&dist);
             let w_id = engine.register_edge_map(&weights);
-            let action = engine
-                .add_action(dgp_algorithms_relax(d_id, w_id))
-                .unwrap();
+            let action = engine.add_action(dgp_algorithms_relax(d_id, w_id)).unwrap();
             let rank = ctx.rank();
             for v in graph.distribution().owned(rank) {
                 if v < 9 {
@@ -464,10 +463,7 @@ fn engine_stats_are_exact() {
 #[test]
 fn filtered_generator_partitions_edges() {
     let result = with_machine(2, |ctx| {
-        let el = EdgeList::from_weighted(
-            5,
-            &[(0, 1, 0.2), (0, 2, 0.9), (0, 3, 0.5), (0, 4, 1.5)],
-        );
+        let el = EdgeList::from_weighted(5, &[(0, 1, 0.2), (0, 2, 0.9), (0, 3, 0.5), (0, 4, 1.5)]);
         let graph = ctx.share(|| DistGraph::build(&el, Distribution::block(5, 2), false));
         let weights = ctx.share(|| EdgeMap::from_weights(&graph, &el));
         let touched = ctx.share(|| AtomicVertexMap::new(graph.distribution(), 0u64));
@@ -483,18 +479,19 @@ fn filtered_generator_partitions_edges() {
             };
             let mut b = ActionBuilder::new(if light { "light" } else { "heavy" }, gen);
             let t_trg = b.read_vertex(t_id, Place::GenTrg);
-            b.cond(&[t_trg], move |_| true).assign(
-                t_id,
-                Place::GenTrg,
-                &[],
-                move |_, old| Val::U(old.as_u64() + tag),
-            );
+            b.cond(&[t_trg], move |_| true)
+                .assign(t_id, Place::GenTrg, &[], move |_, old| {
+                    Val::U(old.as_u64() + tag)
+                });
             b.build().unwrap()
         };
         let light = engine.add_action(mk(true, 1)).unwrap();
         let heavy = engine.add_action(mk(false, 100)).unwrap();
 
-        let seeds: Vec<_> = (graph.owner(0) == ctx.rank()).then_some(0).into_iter().collect();
+        let seeds: Vec<_> = (graph.owner(0) == ctx.rank())
+            .then_some(0)
+            .into_iter()
+            .collect();
         once(ctx, &engine, light, &seeds);
         once(ctx, &engine, heavy, &seeds);
         (ctx.rank() == 0).then(|| touched.snapshot())

@@ -14,9 +14,7 @@ use dgp_core::plan::{compile, verify, PlanMode};
 fn legal_places(generator: GeneratorIr, pointer_maps: &[MapId]) -> Vec<Place> {
     let mut base = vec![Place::Input];
     match generator {
-        GeneratorIr::OutEdges
-        | GeneratorIr::InEdges
-        | GeneratorIr::OutEdgesFiltered { .. } => {
+        GeneratorIr::OutEdges | GeneratorIr::InEdges | GeneratorIr::OutEdgesFiltered { .. } => {
             base.push(Place::GenSrc);
             base.push(Place::GenTrg);
         }

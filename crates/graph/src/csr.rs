@@ -29,12 +29,7 @@ pub struct Shard {
 
 impl Shard {
     /// Build rank `rank`'s shard from the global edge list.
-    pub fn build(
-        rank: usize,
-        dist: Distribution,
-        edges: &EdgeList,
-        bidirectional: bool,
-    ) -> Shard {
+    pub fn build(rank: usize, dist: Distribution, edges: &EdgeList, bidirectional: bool) -> Shard {
         let nl = dist.local_count(rank);
 
         let mut out_deg = vec![0usize; nl];

@@ -65,9 +65,7 @@ impl EdgeList {
     /// Append a weighted edge. Panics if earlier edges were unweighted.
     pub fn push_weighted(&mut self, u: VertexId, v: VertexId, w: f64) {
         assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
-        let ws = self
-            .weights
-            .get_or_insert_with(Vec::new);
+        let ws = self.weights.get_or_insert_with(Vec::new);
         assert_eq!(
             ws.len(),
             self.edges.len(),

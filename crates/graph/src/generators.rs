@@ -249,11 +249,7 @@ pub fn small_world(n: u64, k: usize, beta: f64, seed: u64) -> EdgeList {
 
 /// Helper: which vertex ids does `el` actually connect (used in tests).
 pub fn touched_vertices(el: &EdgeList) -> Vec<VertexId> {
-    let mut vs: Vec<_> = el
-        .edges
-        .iter()
-        .flat_map(|&(u, v)| [u, v])
-        .collect();
+    let mut vs: Vec<_> = el.edges.iter().flat_map(|&(u, v)| [u, v]).collect();
     vs.sort_unstable();
     vs.dedup();
     vs
@@ -297,7 +293,11 @@ mod tests {
     fn erdos_renyi_uniformish() {
         let el = erdos_renyi(100, 10_000, 5);
         let deg = el.out_degrees();
-        assert!(deg.iter().all(|&d| d > 50 && d < 200), "max={:?}", deg.iter().max());
+        assert!(
+            deg.iter().all(|&d| d > 50 && d < 200),
+            "max={:?}",
+            deg.iter().max()
+        );
     }
 
     #[test]
@@ -343,7 +343,10 @@ mod tests {
 
     #[test]
     fn small_world_is_deterministic() {
-        assert_eq!(small_world(64, 6, 0.2, 9).edges, small_world(64, 6, 0.2, 9).edges);
+        assert_eq!(
+            small_world(64, 6, 0.2, 9).edges,
+            small_world(64, 6, 0.2, 9).edges
+        );
     }
 
     #[test]

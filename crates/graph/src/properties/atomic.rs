@@ -205,12 +205,7 @@ impl<T: AtomicValue> AtomicVertexMap<T> {
                     changed: false,
                 };
             }
-            match cell.compare_exchange_weak(
-                cur,
-                new_bits,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match cell.compare_exchange_weak(cur, new_bits, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     return UpdateOutcome {
                         old,

@@ -88,10 +88,7 @@ impl EdgeMap<f64> {
     /// Build the weight map from the edge list the graph came from
     /// (requires `el.weights`).
     pub fn from_weights(graph: &DistGraph, el: &crate::EdgeList) -> Self {
-        let ws = el
-            .weights
-            .as_ref()
-            .expect("edge list carries weights");
+        let ws = el.weights.as_ref().expect("edge list carries weights");
         EdgeMap::from_values(graph, ws)
     }
 }
@@ -105,7 +102,13 @@ mod tests {
     fn weights_follow_edges_across_distributions() {
         let el = EdgeList::from_weighted(
             4,
-            &[(0, 1, 0.1), (0, 2, 0.2), (1, 3, 1.3), (2, 3, 2.3), (3, 0, 3.0)],
+            &[
+                (0, 1, 0.1),
+                (0, 2, 0.2),
+                (1, 3, 1.3),
+                (2, 3, 2.3),
+                (3, 0, 3.0),
+            ],
         );
         for dist in [Distribution::block(4, 2), Distribution::cyclic(4, 3)] {
             let g = DistGraph::build(&el, dist, true);
@@ -115,18 +118,12 @@ mod tests {
                 for li in 0..sh.num_local() {
                     let u = sh.global_of(li);
                     for (e, v) in sh.out_edges(li) {
-                        let expect = el
-                            .weights
-                            .as_ref()
-                            .unwrap()
+                        let expect = el.weights.as_ref().unwrap()
                             [el.edges.iter().position(|&p| p == (u, v)).unwrap()];
                         assert_eq!(w.get_out(r, e), expect, "out ({u},{v})");
                     }
                     for (e, s) in sh.in_edges(li) {
-                        let expect = el
-                            .weights
-                            .as_ref()
-                            .unwrap()
+                        let expect = el.weights.as_ref().unwrap()
                             [el.edges.iter().position(|&p| p == (s, u)).unwrap()];
                         assert_eq!(w.get_in(r, e), expect, "in ({s},{u})");
                     }

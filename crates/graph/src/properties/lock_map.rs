@@ -104,9 +104,18 @@ mod tests {
 
     #[test]
     fn lock_counts_per_scheme() {
-        assert_eq!(LockMap::new(100, LockGranularity::PerVertex).lock_count(), 100);
-        assert_eq!(LockMap::new(100, LockGranularity::Block(16)).lock_count(), 7);
-        assert_eq!(LockMap::new(100, LockGranularity::Striped(8)).lock_count(), 8);
+        assert_eq!(
+            LockMap::new(100, LockGranularity::PerVertex).lock_count(),
+            100
+        );
+        assert_eq!(
+            LockMap::new(100, LockGranularity::Block(16)).lock_count(),
+            7
+        );
+        assert_eq!(
+            LockMap::new(100, LockGranularity::Striped(8)).lock_count(),
+            8
+        );
         assert_eq!(LockMap::new(0, LockGranularity::PerVertex).lock_count(), 1);
     }
 

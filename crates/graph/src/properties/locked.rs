@@ -78,7 +78,11 @@ impl<T: Clone + Send + 'static> LockedVertexMap<T> {
     pub fn snapshot(&self) -> Vec<T> {
         let n = self.dist.num_vertices();
         (0..n)
-            .map(|v| self.shards[self.dist.owner(v)][self.dist.local(v)].lock().clone())
+            .map(|v| {
+                self.shards[self.dist.owner(v)][self.dist.local(v)]
+                    .lock()
+                    .clone()
+            })
             .collect()
     }
 }
@@ -91,8 +95,7 @@ mod tests {
     #[test]
     fn set_valued_properties() {
         let d = Distribution::block(4, 2);
-        let preds: LockedVertexMap<BTreeSet<VertexId>> =
-            LockedVertexMap::new(d, BTreeSet::new());
+        let preds: LockedVertexMap<BTreeSet<VertexId>> = LockedVertexMap::new(d, BTreeSet::new());
         let r = d.owner(1);
         preds.with_mut(r, 1, |s| s.insert(0));
         preds.with_mut(r, 1, |s| s.insert(3));

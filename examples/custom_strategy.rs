@@ -75,7 +75,11 @@ fn main() {
         ctx.barrier();
 
         let state = Arc::new(NearFar {
-            near: Mutex::new(if graph.owner(0) == rank { vec![0] } else { vec![] }),
+            near: Mutex::new(if graph.owner(0) == rank {
+                vec![0]
+            } else {
+                vec![]
+            }),
             far: Mutex::new(Vec::new()),
             threshold: Mutex::new(delta),
         });
@@ -125,8 +129,7 @@ fn main() {
                     }
                 });
             }
-            let pending =
-                state.near.lock().len() as u64 + state.far.lock().len() as u64;
+            let pending = state.near.lock().len() as u64 + state.far.lock().len() as u64;
             if ctx.sum_ranks(pending) == 0 {
                 break;
             }

@@ -54,7 +54,10 @@ fn main() {
             dist.set(rank, 0, 0.0);
         }
         ctx.barrier();
-        let seeds: Vec<_> = (graph_before.owner(0) == rank).then_some(0).into_iter().collect();
+        let seeds: Vec<_> = (graph_before.owner(0) == rank)
+            .then_some(0)
+            .into_iter()
+            .collect();
         fixed_point(ctx, &engine1, relax1, &seeds);
         let full_work = ctx.sum_ranks(engine1.stats().items_generated);
 
@@ -80,7 +83,10 @@ fn main() {
             dist.set(rank, 0, 0.0);
         }
         ctx.barrier();
-        let seeds: Vec<_> = (graph_after.owner(0) == rank).then_some(0).into_iter().collect();
+        let seeds: Vec<_> = (graph_after.owner(0) == rank)
+            .then_some(0)
+            .into_iter()
+            .collect();
         let before = engine2.stats().items_generated;
         fixed_point(ctx, &engine2, relax2, &seeds);
         let scratch_work = ctx.sum_ranks(engine2.stats().items_generated - before);

@@ -51,7 +51,14 @@ fn main() {
     let n5 = Place::map_at(f, u.clone());
 
     println!("=== General gather tree (paper Fig. 5 reconstruction) ===");
-    let tree = DepTree::build(&[n1.clone(), n2.clone(), n3.clone(), n4.clone(), u.clone(), n5.clone()]);
+    let tree = DepTree::build(&[
+        n1.clone(),
+        n2.clone(),
+        n3.clone(),
+        n4.clone(),
+        u.clone(),
+        n5.clone(),
+    ]);
     println!("{tree}");
     println!(
         "faithful depth-first walk : {} messages (paper: 8)",
@@ -94,7 +101,10 @@ fn main() {
         let sssp_plan = compile(&relax.ir, PlanMode::Optimized).unwrap();
         std::fs::write(dir.join("fig6_sssp_plan.dot"), sssp_plan.to_dot()).unwrap();
         std::fs::write(dir.join("cc_rewrite_plan.dot"), plan.to_dot()).unwrap();
-        println!("\nwrote DOT files to {}/ (render with `dot -Tsvg`)", dir.display());
+        println!(
+            "\nwrote DOT files to {}/ (render with `dot -Tsvg`)",
+            dir.display()
+        );
     } else {
         println!("\n(re-run with --dot to emit Graphviz files for these figures)");
     }

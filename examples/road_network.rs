@@ -50,12 +50,8 @@ fn main() {
         let weights = weights.clone();
         let t0 = Instant::now();
         let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
-            let s = dgp_algorithms::sssp::Sssp::install(
-                ctx,
-                &graph,
-                &weights,
-                EngineConfig::default(),
-            );
+            let s =
+                dgp_algorithms::sssp::Sssp::install(ctx, &graph, &weights, EngineConfig::default());
             s.run(ctx, 0, strategy);
             let engine_stats = s.engine.stats();
             let relaxations = ctx.sum_ranks(engine_stats.conditions_true);

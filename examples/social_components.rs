@@ -52,7 +52,10 @@ fn main() {
         am_stats.coalescing_factor()
     );
 
-    assert_eq!(labels, lp_labels, "parallel search and label propagation agree");
+    assert_eq!(
+        labels, lp_labels,
+        "parallel search and label propagation agree"
+    );
 
     // Component statistics.
     let mut sizes: HashMap<u64, usize> = HashMap::new();

@@ -46,7 +46,8 @@ pub use dgp_graph as graph;
 /// The commonly-needed surface in one import.
 pub mod prelude {
     pub use dgp_algorithms::{
-        run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp, SsspStrategy,
+        run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp, run_sssp_profiled,
+        SsspStrategy,
     };
     pub use dgp_am::{AmCtx, Machine, MachineConfig, TerminationMode};
     pub use dgp_core::builder::ActionBuilder;

@@ -30,14 +30,14 @@ fn sssp_configuration_matrix() {
     let el = weighted_rmat(7, 3);
     let want = seq::dijkstra(&el, 0);
     for ranks in [1, 2, 5] {
-        for term in [TerminationMode::SharedCounters, TerminationMode::FourCounterWave] {
+        for term in [
+            TerminationMode::SharedCounters,
+            TerminationMode::FourCounterWave,
+        ] {
             for plan in [PlanMode::Faithful, PlanMode::Optimized] {
                 for sync in [SyncMode::Atomic, SyncMode::LockMap] {
-                    let graph = DistGraph::build(
-                        &el,
-                        Distribution::block(el.num_vertices(), ranks),
-                        false,
-                    );
+                    let graph =
+                        DistGraph::build(&el, Distribution::block(el.num_vertices(), ranks), false);
                     let weights = EdgeMap::from_weights(&graph, &el);
                     let cfg = EngineConfig {
                         plan_mode: plan,
@@ -46,9 +46,7 @@ fn sssp_configuration_matrix() {
                     };
                     let mut out =
                         Machine::run(MachineConfig::new(ranks).termination(term), move |ctx| {
-                            let s = dgp_algorithms::sssp::Sssp::install(
-                                ctx, &graph, &weights, cfg,
-                            );
+                            let s = dgp_algorithms::sssp::Sssp::install(ctx, &graph, &weights, cfg);
                             s.run(ctx, 0, SsspStrategy::FixedPoint);
                             (ctx.rank() == 0).then(|| s.dist.snapshot())
                         });
@@ -138,8 +136,7 @@ fn multithreaded_ranks() {
     let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 2), false);
     let weights = EdgeMap::from_weights(&graph, &el);
     let mut out = Machine::run(MachineConfig::new(2).threads_per_rank(4), move |ctx| {
-        let dist =
-            dgp_algorithms::sssp::sssp(ctx, &graph, &weights, 0, SsspStrategy::FixedPoint);
+        let dist = dgp_algorithms::sssp::sssp(ctx, &graph, &weights, 0, SsspStrategy::FixedPoint);
         (ctx.rank() == 0).then(|| dist.snapshot())
     });
     assert_dists(&out[0].take().unwrap(), &want);
@@ -179,7 +176,10 @@ fn bfs_and_pagerank_across_ranks() {
         assert_eq!(run_bfs(&el, ranks, 0), want_bfs, "bfs ranks={ranks}");
         let pr = run_pagerank(&el, ranks, 0.85, 15);
         for (i, (a, b)) in pr.iter().zip(&want_pr).enumerate() {
-            assert!((a - b).abs() < 1e-6, "pr vertex {i}: {a} vs {b} ranks={ranks}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "pr vertex {i}: {a} vs {b} ranks={ranks}"
+            );
         }
     }
 }
@@ -263,7 +263,10 @@ fn self_send_shortcut_transparent() {
         assert_dists(&got, &want);
         msgs.push(stats.messages_sent);
     }
-    assert!(msgs.iter().all(|&m| m > 0), "both modes actually sent messages: {msgs:?}");
+    assert!(
+        msgs.iter().all(|&m| m > 0),
+        "both modes actually sent messages: {msgs:?}"
+    );
 }
 
 /// CC's racy claim phase stays correct with handler worker threads.

@@ -11,17 +11,15 @@ use dgp_algorithms::seq;
 /// with positive weights.
 fn arb_weighted_graph(max_n: u64) -> impl Strategy<Value = EdgeList> {
     (2..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n, 0..n, 1u32..100),
-            0..(4 * n as usize),
+        proptest::collection::vec((0..n, 0..n, 1u32..100), 0..(4 * n as usize)).prop_map(
+            move |triples| {
+                let t: Vec<(u64, u64, f64)> = triples
+                    .into_iter()
+                    .map(|(u, v, w)| (u, v, w as f64 / 8.0))
+                    .collect();
+                EdgeList::from_weighted(n, &t)
+            },
         )
-        .prop_map(move |triples| {
-            let t: Vec<(u64, u64, f64)> = triples
-                .into_iter()
-                .map(|(u, v, w)| (u, v, w as f64 / 8.0))
-                .collect();
-            EdgeList::from_weighted(n, &t)
-        })
     })
 }
 
@@ -37,9 +35,10 @@ fn arb_undirected_graph(max_n: u64) -> impl Strategy<Value = EdgeList> {
 
 fn dists_match(got: &[f64], want: &[f64]) -> bool {
     got.len() == want.len()
-        && got.iter().zip(want).all(|(a, b)| {
-            (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite())
-        })
+        && got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()))
 }
 
 proptest! {

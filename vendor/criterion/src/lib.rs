@@ -1,0 +1,314 @@
+//! Offline stand-in for `criterion`, providing the subset this workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It is a *functional* harness, not a statistical one: each benchmark is
+//! warmed up, then timed over `sample_size` batches, and the per-iteration
+//! mean / min / max are printed. There are no confidence intervals, HTML
+//! reports, or saved baselines. Good enough to compare configurations by
+//! eye (e.g. the observability-overhead bench); use real criterion for
+//! publishable numbers. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name provides the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`: a short calibration pass picks an iteration count
+    /// per sample, then `sample_size` samples are measured.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of roughly 5 ms, capped to keep total
+        // bench time bounded even for very fast routines.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = Duration::from_millis(5).as_nanos() / one.as_nanos();
+        self.iters_per_sample = (per_sample as u64).clamp(1, 10_000);
+
+        // Warm-up.
+        for _ in 0..self.iters_per_sample.min(100) {
+            black_box(routine());
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{label:<50} mean {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput (echoed in output).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        b.report(&self.label(&id));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut b, input);
+        b.report(&self.label(&id));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is cosmetic).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn label(&self, id: &BenchmarkId) -> String {
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  [{n} elems/iter]"),
+            Some(Throughput::Bytes(n)) => format!("  [{n} B/iter]"),
+            None => String::new(),
+        };
+        format!("{}/{}{}", self.name, id, tp)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name);
+        g.bench_function("", f);
+        self
+    }
+
+    /// Set the default sample count for subsequent groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(black_box(b)))
+    }
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(5);
+        g.bench_function(BenchmarkId::from_parameter(100), |b| {
+            b.iter(|| sum_to(100))
+        });
+        g.bench_with_input(BenchmarkId::new("sum", 200), &200u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn bench_a(c: &mut Criterion) {
+            c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+}
