@@ -12,12 +12,45 @@ use crate::sssp::SsspStrategy;
 /// Distributed SSSP over `ranks` simulated ranks. The edge list must be
 /// weighted. Returns the distance vector in vertex order.
 pub fn run_sssp(el: &EdgeList, ranks: usize, source: VertexId, strategy: SsspStrategy) -> Vec<f64> {
+    run_sssp_cfg(el, MachineConfig::new(ranks), source, strategy)
+}
+
+/// [`run_sssp`] on a caller-supplied [`MachineConfig`] (rank count is
+/// taken from the config) — the hook the chaos tests and experiment E13
+/// use to run algorithms over a fault-injected transport.
+pub fn run_sssp_cfg(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> Vec<f64> {
+    let ranks = cfg.ranks;
     let dist = Distribution::block(el.num_vertices(), ranks);
     let graph = DistGraph::build(el, dist, false);
     let weights = EdgeMap::from_weights(&graph, el);
-    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+    let mut out = Machine::run(cfg, move |ctx| {
         let d = crate::sssp::sssp(ctx, &graph, &weights, source, strategy);
         (ctx.rank() == 0).then(|| d.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// [`run_sssp_cfg`] that also returns the machine's cumulative statistics
+/// (as seen by rank 0 after the last epoch) — used to assert that fault
+/// injection actually happened (`injected_drops`, `retransmits`, ...).
+pub fn run_sssp_cfg_stats(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> (Vec<f64>, dgp_am::StatsSnapshot) {
+    let ranks = cfg.ranks;
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let mut out = Machine::run(cfg, move |ctx| {
+        let d = crate::sssp::sssp(ctx, &graph, &weights, source, strategy);
+        (ctx.rank() == 0).then(|| (d.snapshot(), ctx.stats()))
     });
     out[0].take().expect("rank 0 reports")
 }
@@ -45,14 +78,27 @@ pub fn run_sssp_profiled(
 /// Distributed connected components (parallel search). The edge list is
 /// symmetrized internally. Returns min-vertex-id component labels.
 pub fn run_cc(el: &EdgeList, ranks: usize) -> Vec<u64> {
+    run_cc_cfg(el, MachineConfig::new(ranks))
+}
+
+/// [`run_cc`] on a caller-supplied [`MachineConfig`] (rank count taken
+/// from the config); returns the labels plus rank 0's cumulative machine
+/// statistics.
+pub fn run_cc_cfg(el: &EdgeList, cfg: MachineConfig) -> Vec<u64> {
+    run_cc_cfg_stats(el, cfg).0
+}
+
+/// [`run_cc_cfg`] with the machine statistics alongside the labels.
+pub fn run_cc_cfg_stats(el: &EdgeList, cfg: MachineConfig) -> (Vec<u64>, dgp_am::StatsSnapshot) {
+    let ranks = cfg.ranks;
     let mut sym = el.clone();
     sym.weights = None;
     sym.symmetrize();
     let dist = Distribution::block(sym.num_vertices(), ranks);
     let graph = DistGraph::build(&sym, dist, false);
-    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+    let mut out = Machine::run(cfg, move |ctx| {
         let c = crate::cc::cc(ctx, &graph);
-        (ctx.rank() == 0).then(|| c.snapshot())
+        (ctx.rank() == 0).then(|| (c.snapshot(), ctx.stats()))
     });
     out[0].take().expect("rank 0 reports")
 }
@@ -70,9 +116,21 @@ pub fn run_bfs(el: &EdgeList, ranks: usize, source: VertexId) -> Vec<u64> {
 
 /// Distributed PageRank (`damping` typically 0.85).
 pub fn run_pagerank(el: &EdgeList, ranks: usize, damping: f64, iterations: usize) -> Vec<f64> {
+    run_pagerank_cfg(el, MachineConfig::new(ranks), damping, iterations)
+}
+
+/// [`run_pagerank`] on a caller-supplied [`MachineConfig`] (rank count
+/// taken from the config).
+pub fn run_pagerank_cfg(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    damping: f64,
+    iterations: usize,
+) -> Vec<f64> {
+    let ranks = cfg.ranks;
     let dist = Distribution::block(el.num_vertices(), ranks);
     let graph = DistGraph::build(el, dist, false);
-    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+    let mut out = Machine::run(cfg, move |ctx| {
         let r = crate::pagerank::pagerank(ctx, &graph, damping, iterations);
         (ctx.rank() == 0).then(|| r.snapshot())
     });

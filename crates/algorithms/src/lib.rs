@@ -34,6 +34,7 @@ pub mod sssp;
 pub mod util;
 
 pub use api::{
-    run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp, run_sssp_profiled,
+    run_bfs, run_cc, run_cc_cfg, run_cc_cfg_stats, run_coloring, run_kcore, run_pagerank,
+    run_pagerank_cfg, run_sssp, run_sssp_cfg, run_sssp_cfg_stats, run_sssp_profiled,
 };
 pub use sssp::SsspStrategy;

@@ -30,14 +30,25 @@ pub(crate) trait ErasedBuffers: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Monomorphized payload replicator stored in every [`Envelope`]: lets the
+/// type-erased reliability layer clone a payload for retransmission and
+/// duplicate injection without knowing `T` (see [`crate::fault`]).
+fn clone_payload<T: Clone + Send + 'static>(p: &(dyn Any + Send)) -> Box<dyn Any + Send> {
+    Box::new(
+        p.downcast_ref::<Vec<T>>()
+            .expect("envelope payloads are Vec<T> batches")
+            .clone(),
+    )
+}
+
 /// Buffers for one concrete message type `T`.
-pub(crate) struct TypedBuffers<T: Send + 'static> {
+pub(crate) struct TypedBuffers<T: Clone + Send + 'static> {
     type_id: u32,
     capacity: usize,
     per_dest: Vec<Vec<T>>,
 }
 
-impl<T: Send + 'static> TypedBuffers<T> {
+impl<T: Clone + Send + 'static> TypedBuffers<T> {
     pub(crate) fn new(type_id: u32, capacity: usize, ranks: usize) -> Self {
         TypedBuffers {
             type_id,
@@ -77,12 +88,13 @@ impl<T: Send + 'static> TypedBuffers<T> {
                 type_id: self.type_id,
                 count,
                 payload: Box::new(batch),
+                clone_payload: clone_payload::<T>,
             },
         );
     }
 }
 
-impl<T: Send + 'static> ErasedBuffers for TypedBuffers<T> {
+impl<T: Clone + Send + 'static> ErasedBuffers for TypedBuffers<T> {
     fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize {
         let mut shipped = 0;
         for dest in 0..self.per_dest.len() {

@@ -10,8 +10,33 @@
 //! Rounds are naturally serialized: a rank cannot begin round *r + 1* until
 //! round *r* has completed (its call blocks), so a single result slot is
 //! race-free.
+//!
+//! ## Poisoning
+//!
+//! A participant that panics can never arrive, so a collective would wait
+//! forever. [`Collective::poison`] marks the collective unusable and wakes
+//! every waiter. The fallible variants ([`Collective::try_all_reduce`],
+//! [`Collective::try_barrier`]) surface this as [`Poisoned`]; the plain
+//! variants abort the calling thread with the machine's internal unwind
+//! sentinel, which the rank-level supervisor in [`crate::machine`]
+//! recognizes as a *secondary* failure (the primary [`crate::MachineError`]
+//! was recorded by whoever poisoned the machine).
 
 use parking_lot::{Condvar, Mutex};
+
+/// Error returned by the fallible collective operations: another
+/// participant failed and poisoned the collective, so this round can never
+/// complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "collective poisoned: another participant failed")
+    }
+}
+
+impl std::error::Error for Poisoned {}
 
 struct CollState {
     generation: u64,
@@ -47,28 +72,44 @@ impl Collective {
 
     /// All-reduce: every participant calls with its contribution and the
     /// same associative, commutative `op`; every participant returns the
-    /// combined value. Blocks until all participants of this round arrive.
-    pub fn all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+    /// combined value. Blocks until all participants of this round arrive,
+    /// or fails fast with [`Poisoned`] when a participant can never arrive.
+    pub fn try_all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> Result<u64, Poisoned> {
         let mut st = self.state.lock();
-        assert!(!st.poisoned, "collective poisoned: another rank panicked");
+        if st.poisoned {
+            return Err(Poisoned);
+        }
         let my_gen = st.generation;
-        st.acc = Some(match st.acc {
+        let combined = match st.acc.take() {
             None => mine,
             Some(a) => op(a, mine),
-        });
+        };
         st.arrived += 1;
         if st.arrived == self.participants {
-            st.result = st.acc.take().expect("accumulator populated this round");
+            st.result = combined;
             st.arrived = 0;
             st.generation += 1;
             self.cv.notify_all();
         } else {
+            st.acc = Some(combined);
             while st.generation == my_gen {
                 self.cv.wait(&mut st);
-                assert!(!st.poisoned, "collective poisoned: another rank panicked");
+                if st.poisoned {
+                    return Err(Poisoned);
+                }
             }
         }
-        st.result
+        Ok(st.result)
+    }
+
+    /// [`try_all_reduce`](Self::try_all_reduce) that aborts the calling
+    /// thread (controlled unwind, recognized by the machine's rank
+    /// supervisor) instead of returning [`Poisoned`].
+    pub fn all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        match self.try_all_reduce(mine, op) {
+            Ok(v) => v,
+            Err(Poisoned) => std::panic::resume_unwind(Box::new(crate::error::Abort)),
+        }
     }
 
     /// Mark the collective unusable and wake all waiters: called when a
@@ -79,9 +120,19 @@ impl Collective {
         self.cv.notify_all();
     }
 
+    /// Whether the collective has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+
     /// Barrier: returns once every participant has arrived.
     pub fn barrier(&self) {
         self.all_reduce(0, |_, _| 0);
+    }
+
+    /// Fallible barrier: [`Poisoned`] when the round can never complete.
+    pub fn try_barrier(&self) -> Result<(), Poisoned> {
+        self.try_all_reduce(0, |_, _| 0).map(|_| ())
     }
 
     /// Global logical OR of per-rank booleans.
@@ -161,5 +212,35 @@ mod tests {
         assert_eq!(c.sum(41), 41);
         c.barrier();
         assert!(c.any(true));
+    }
+
+    #[test]
+    fn poison_wakes_waiters_with_error() {
+        // 2 of 3 participants arrive; the third poisons instead. Both
+        // waiters must return Err rather than hanging.
+        let coll = Arc::new(Collective::new(3));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let coll = coll.clone();
+                s.spawn(move || {
+                    assert_eq!(coll.try_all_reduce(1, |a, b| a + b), Err(Poisoned));
+                });
+            }
+            let coll = coll.clone();
+            s.spawn(move || {
+                // Give the waiters a moment to block first.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                coll.poison();
+            });
+        });
+        assert!(coll.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_collective_rejects_new_rounds() {
+        let c = Collective::new(2);
+        c.poison();
+        assert_eq!(c.try_all_reduce(1, |a, b| a + b), Err(Poisoned));
+        assert_eq!(c.try_barrier(), Err(Poisoned));
     }
 }

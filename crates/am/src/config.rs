@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::fault::FaultPlan;
+
 /// Which termination-detection algorithm an epoch uses to decide that all
 /// activity has quiesced (see `termination` module docs for the algorithms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +64,19 @@ pub struct MachineConfig {
     /// (Self::profile) is on; further spans are dropped (and counted) so
     /// profiling memory stays bounded.
     pub profile_spans: usize,
+    /// Optional transport fault injection (see [`crate::fault`]). When
+    /// set, the reliability layer (sequence numbers, acks, retransmission,
+    /// receiver dedup) is installed at the transport boundary and the
+    /// plan's seeded perturbations are applied to every envelope
+    /// transmission. `None` (the default) keeps the perfect in-process
+    /// transport with zero added overhead.
+    pub faults: Option<FaultPlan>,
+    /// Optional watchdog: when an epoch fails to quiesce within this
+    /// duration, the machine is poisoned and
+    /// [`Machine::try_run`](crate::Machine::try_run) returns
+    /// [`MachineError::EpochDeadline`](crate::MachineError::EpochDeadline)
+    /// naming the non-quiescent ranks, instead of hanging forever.
+    pub epoch_deadline: Option<Duration>,
 }
 
 impl MachineConfig {
@@ -76,6 +91,8 @@ impl MachineConfig {
             trace_envelopes: 0,
             profile: false,
             profile_spans: 1 << 16,
+            faults: None,
+            epoch_deadline: None,
         }
     }
 
@@ -118,6 +135,20 @@ impl MachineConfig {
         self
     }
 
+    /// Install a fault-injection plan (and with it the reliability layer)
+    /// at the transport boundary. See [`crate::fault::FaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arm the epoch watchdog: a non-quiescent epoch older than `d` fails
+    /// the machine with a diagnostic instead of hanging.
+    pub fn epoch_deadline(mut self, d: Duration) -> Self {
+        self.epoch_deadline = Some(d);
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.ranks >= 1, "a machine needs at least one rank");
         assert!(
@@ -128,6 +159,12 @@ impl MachineConfig {
             self.coalescing_capacity >= 1,
             "coalescing capacity must be at least 1"
         );
+        if let Some(plan) = &self.faults {
+            plan.validate();
+        }
+        if let Some(d) = self.epoch_deadline {
+            assert!(!d.is_zero(), "epoch deadline must be positive");
+        }
     }
 }
 

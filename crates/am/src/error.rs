@@ -1,0 +1,158 @@
+//! Structured failure propagation.
+//!
+//! The runtime's correctness rests on collective operations (epoch entry
+//! and exit barriers, reductions) that every rank must reach. A panic on
+//! one rank would therefore deadlock the survivors if it merely killed its
+//! own thread. Instead every panic — in user rank code or in a message
+//! handler — is caught at its boundary, converted into a [`MachineError`],
+//! and *poisons* the machine: barriers, collectives, termination-detection
+//! loops and epoch exits all notice the poison and abort with a controlled
+//! unwind, so [`Machine::try_run`](crate::Machine::try_run) returns the
+//! first failure on every rank instead of hanging or aborting the process.
+//!
+//! The optional [`MachineConfig::epoch_deadline`](crate::MachineConfig)
+//! watchdog extends the same mechanism to *hangs*: an epoch that fails to
+//! quiesce within the deadline is converted into
+//! [`MachineError::EpochDeadline`] naming the non-quiescent ranks.
+
+use std::time::Duration;
+
+use crate::machine::RankId;
+
+/// Why a machine run failed. Returned by
+/// [`Machine::try_run`](crate::Machine::try_run); the panicking
+/// [`Machine::run`](crate::Machine::run) wrapper re-raises the original
+/// panic payload instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// A rank's SPMD program panicked.
+    RankPanicked {
+        /// The rank whose program panicked.
+        rank: RankId,
+        /// The panic message (best-effort string extraction).
+        message: String,
+    },
+    /// A message handler panicked while processing an envelope.
+    HandlerPanicked {
+        /// The rank the handler ran on.
+        rank: RankId,
+        /// Registration index of the handled message type.
+        type_id: u32,
+        /// Diagnostic name of the handled message type.
+        type_name: String,
+        /// The panic message (best-effort string extraction).
+        message: String,
+    },
+    /// An epoch failed to quiesce within
+    /// [`MachineConfig::epoch_deadline`](crate::MachineConfig).
+    EpochDeadline {
+        /// The epoch generation that hung (1-indexed).
+        epoch: u64,
+        /// How long the reporting rank waited.
+        waited: Duration,
+        /// Ranks that had not gone idle when the deadline expired — the
+        /// ranks still producing or owing messages.
+        stuck_ranks: Vec<RankId>,
+        /// Machine-wide messages sent when the deadline fired.
+        sent: u64,
+        /// Machine-wide messages handled when the deadline fired.
+        handled: u64,
+    },
+    /// The machine was poisoned but no primary error was recorded (an
+    /// internal invariant failed, e.g. a channel closed early).
+    Poisoned {
+        /// Best-effort description of the inconsistency.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            MachineError::HandlerPanicked {
+                rank,
+                type_id,
+                type_name,
+                message,
+            } => write!(
+                f,
+                "handler for message type {type_id} ({type_name}) panicked on rank {rank}: \
+                 {message}"
+            ),
+            MachineError::EpochDeadline {
+                epoch,
+                waited,
+                stuck_ranks,
+                sent,
+                handled,
+            } => write!(
+                f,
+                "epoch {epoch} failed to quiesce within {waited:?}: \
+                 non-quiescent ranks {stuck_ranks:?} (machine-wide sent={sent}, \
+                 handled={handled})"
+            ),
+            MachineError::Poisoned { message } => {
+                write!(f, "machine poisoned: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Internal unwind sentinel: a rank aborting because the machine was
+/// poisoned *by someone else*. Carries no information — the primary
+/// [`MachineError`] was already recorded by whoever poisoned the machine —
+/// and is recognized (and swallowed) by the rank-level `catch_unwind` so
+/// secondary aborts never masquerade as failures of their own.
+pub(crate) struct Abort;
+
+/// Best-effort extraction of a panic message from a payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failed_rank() {
+        let e = MachineError::RankPanicked {
+            rank: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "rank 3 panicked: boom");
+    }
+
+    #[test]
+    fn deadline_display_names_stuck_ranks() {
+        let e = MachineError::EpochDeadline {
+            epoch: 2,
+            waited: Duration::from_millis(50),
+            stuck_ranks: vec![1, 3],
+            sent: 10,
+            handled: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 2"), "{s}");
+        assert!(s.contains("[1, 3]"), "{s}");
+        assert!(s.contains("sent=10"), "{s}");
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        assert_eq!(panic_message(&"static"), "static");
+        assert_eq!(panic_message(&String::from("owned")), "owned");
+        assert_eq!(panic_message(&42u32), "<non-string panic payload>");
+    }
+}

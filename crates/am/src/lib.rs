@@ -32,6 +32,17 @@
 //!   (always on), an optional span/histogram recorder gated by
 //!   [`MachineConfig::profile`], and Chrome-trace / metrics-JSON exporters
 //!   — the per-phase message evidence the paper's Figs. 5–6 argue from.
+//! * **Deterministic fault injection and reliable delivery** ([`fault`]):
+//!   a seeded [`FaultPlan`] drops, duplicates, delays and reorders
+//!   envelopes at the transport boundary, and a per-lane
+//!   sequence/ack/retransmit layer restores exactly-once delivery, so
+//!   algorithm results stay bit-identical under chaos
+//!   ([`MachineConfig::faults`]).
+//! * **Structured failure propagation** ([`error`]): panics in handlers or
+//!   rank bodies poison the machine's collectives and surface as a
+//!   [`MachineError`] from [`Machine::try_run`] on every rank instead of
+//!   deadlocking; an optional [`MachineConfig::epoch_deadline`] watchdog
+//!   converts hung epochs into attributed errors.
 //!
 //! ## Simulated distribution
 //!
@@ -79,6 +90,8 @@ pub mod caching;
 pub mod coalescing;
 pub mod collectives;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod obs;
 pub mod reduction;
@@ -88,6 +101,8 @@ pub mod termination;
 pub use addressing::AddressMap;
 pub use caching::CachingSender;
 pub use config::{MachineConfig, TerminationMode};
+pub use error::MachineError;
+pub use fault::FaultPlan;
 pub use machine::{AmCtx, Flushable, Machine, MessageType, RankId, TraceEvent};
 pub use obs::{
     EpochProfile, LogHistogram, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,

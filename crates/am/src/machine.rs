@@ -14,8 +14,10 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -24,6 +26,8 @@ use crate::addressing::AddressMap;
 use crate::coalescing::{ErasedBuffers, TypedBuffers};
 use crate::collectives::Collective;
 use crate::config::{MachineConfig, TerminationMode};
+use crate::error::{panic_message, Abort, MachineError};
+use crate::fault::Transport;
 use crate::obs::{
     self, EpochProfile, EpochProfiler, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
 };
@@ -60,6 +64,41 @@ pub(crate) struct Envelope {
     pub(crate) type_id: u32,
     pub(crate) count: u32,
     pub(crate) payload: Box<dyn Any + Send>,
+    /// Monomorphized payload replicator (see [`crate::coalescing`]): lets
+    /// the type-erased reliability layer copy the payload for retransmit
+    /// and duplicate injection.
+    pub(crate) clone_payload: fn(&(dyn Any + Send)) -> Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// A deep copy of this envelope (payload included).
+    pub(crate) fn duplicate(&self) -> Envelope {
+        Envelope {
+            type_id: self.type_id,
+            count: self.count,
+            payload: (self.clone_payload)(self.payload.as_ref()),
+            clone_payload: self.clone_payload,
+        }
+    }
+}
+
+/// What actually travels through a rank inbox: an envelope stamped with
+/// its sender and (when the reliability layer is installed) a per-lane
+/// sequence number. `seq == 0` means "unsequenced" — the perfect
+/// transport, no ack expected.
+pub(crate) struct Packet {
+    pub(crate) from: RankId,
+    pub(crate) seq: u64,
+    pub(crate) env: Envelope,
+}
+
+/// Receiver-to-sender acknowledgement of one sequenced packet.
+pub(crate) struct Ack {
+    /// The rank that sent the acknowledged packet (the ack's destination).
+    pub(crate) from: RankId,
+    /// The rank that received the packet (the ack's origin).
+    pub(crate) to: RankId,
+    pub(crate) seq: u64,
 }
 
 type ErasedHandler = dyn Fn(&AmCtx, Box<dyn Any + Send>, u32) + Send + Sync;
@@ -74,10 +113,14 @@ pub trait Flushable: Send + Sync {
 }
 
 pub(crate) struct RankShared {
-    tx: Sender<Envelope>,
-    rx: Receiver<Envelope>,
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
     ctl_tx: Sender<Token>,
     ctl_rx: Receiver<Token>,
+    /// Acknowledgements addressed to this rank (only used when the
+    /// reliability layer is installed).
+    ack_tx: Sender<Ack>,
+    ack_rx: Receiver<Ack>,
     handlers: RwLock<Vec<Arc<ErasedHandler>>>,
     flushables: RwLock<Vec<Arc<dyn Flushable>>>,
     sent: AtomicU64,
@@ -105,9 +148,19 @@ pub(crate) struct Shared {
     trace: Option<parking_lot::Mutex<TraceRing>>,
     /// Optional span/histogram recorder ([`MachineConfig::profile`]); the
     /// disabled path everywhere is one branch on this `Option`.
-    obs: Option<Recorder>,
+    pub(crate) obs: Option<Recorder>,
     /// Always-on per-epoch counter snapshotting (see [`crate::obs`]).
     epoch_prof: EpochProfiler,
+    /// Reliability + fault-injection layer; installed when
+    /// [`MachineConfig::faults`] is set, `None` keeps the perfect
+    /// in-process transport.
+    transport: Option<Transport>,
+    /// The first failure recorded on this machine (first-wins; see
+    /// [`Shared::fail`]).
+    failure: parking_lot::Mutex<Option<MachineError>>,
+    /// The original panic payload behind `failure`, when there is one —
+    /// [`Machine::run`] re-raises it so panic messages survive verbatim.
+    failure_payload: parking_lot::Mutex<Option<Box<dyn Any + Send>>>,
     pub(crate) stats: MachineStats,
 }
 
@@ -117,11 +170,14 @@ impl Shared {
             .map(|_| {
                 let (tx, rx) = unbounded();
                 let (ctl_tx, ctl_rx) = unbounded();
+                let (ack_tx, ack_rx) = unbounded();
                 RankShared {
                     tx,
                     rx,
                     ctl_tx,
                     ctl_rx,
+                    ack_tx,
+                    ack_rx,
                     handlers: RwLock::new(Vec::new()),
                     flushables: RwLock::new(Vec::new()),
                     sent: AtomicU64::new(0),
@@ -140,7 +196,12 @@ impl Shared {
         let obs = cfg
             .profile
             .then(|| Recorder::new(cfg.ranks, cfg.profile_spans));
+        let transport = cfg
+            .faults
+            .clone()
+            .map(|plan| Transport::new(plan, cfg.ranks));
         Shared {
+            transport,
             cfg,
             ranks,
             epoch_active: AtomicUsize::new(0),
@@ -153,6 +214,8 @@ impl Shared {
             trace,
             obs,
             epoch_prof: EpochProfiler::default(),
+            failure: parking_lot::Mutex::new(None),
+            failure_payload: parking_lot::Mutex::new(None),
             stats: MachineStats::default(),
         }
     }
@@ -180,15 +243,92 @@ impl Shared {
         self.coll.poison();
     }
 
+    /// Record `err` as the machine's failure (first caller wins — later
+    /// failures are almost always consequences of the first) and poison
+    /// everything so blocked peers fail fast. `payload` carries the
+    /// original panic payload, when the failure was a panic, so
+    /// [`Machine::run`] can re-raise it verbatim.
+    pub(crate) fn fail(&self, err: MachineError, payload: Option<Box<dyn Any + Send>>) {
+        {
+            let mut slot = self.failure.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+                *self.failure_payload.lock() = payload;
+            }
+        }
+        self.poison();
+    }
+
+    /// Abort this thread (controlled unwind, swallowed by the rank
+    /// supervisor) if the machine has been poisoned by a failure elsewhere.
     fn check_poison(&self) {
-        assert!(
-            !self.poisoned.load(SeqCst),
-            "machine poisoned: another rank or handler panicked"
-        );
+        if self.poisoned.load(SeqCst) {
+            std::panic::resume_unwind(Box::new(Abort));
+        }
     }
 
     fn all_idle(&self) -> bool {
         self.ranks.iter().all(|r| r.idle.load(SeqCst))
+    }
+
+    /// Put a packet in `dest`'s inbox. The inbox outlives every epoch, so
+    /// a closed channel means teardown raced a straggler — reachable only
+    /// on failure paths; record and abort rather than panic.
+    pub(crate) fn push_packet(&self, dest: RankId, pkt: Packet) {
+        if self.ranks[dest].tx.send(pkt).is_err() {
+            self.fail(
+                MachineError::Poisoned {
+                    message: format!("rank {dest} inbox closed while messages were in flight"),
+                },
+                None,
+            );
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+    }
+
+    /// Deliver an acknowledgement to the original sender `dest`.
+    pub(crate) fn push_ack(&self, dest: RankId, ack: Ack) {
+        if self.ranks[dest].ack_tx.send(ack).is_err() {
+            self.fail(
+                MachineError::Poisoned {
+                    message: format!("rank {dest} ack channel closed while acks were in flight"),
+                },
+                None,
+            );
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+    }
+
+    /// Drain one pending acknowledgement addressed to `rank`.
+    pub(crate) fn pop_ack(&self, rank: RankId) -> Option<Ack> {
+        self.ranks[rank].ack_rx.try_recv().ok()
+    }
+
+    /// Send a termination-control token to `dest` (poison-aware).
+    fn push_token(&self, dest: RankId, tok: Token) {
+        if self.ranks[dest].ctl_tx.send(tok).is_err() {
+            self.fail(
+                MachineError::Poisoned {
+                    message: format!("rank {dest} control channel closed during an epoch"),
+                },
+                None,
+            );
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+    }
+
+    /// The 1-indexed generation of the epoch currently in flight (best
+    /// effort; used to stamp diagnostics from type-erased layers).
+    pub(crate) fn current_epoch_hint(&self) -> u64 {
+        self.completed_epoch.load(SeqCst) + 1
+    }
+
+    /// Pump the reliability layer on behalf of `rank` (no-op on the
+    /// perfect transport).
+    fn pump_transport(&self, rank: RankId) {
+        if let Some(t) = &self.transport {
+            t.pump(self, rank);
+        }
     }
 }
 
@@ -213,10 +353,13 @@ pub(crate) fn deliver(shared: &Shared, from: RankId, dest: RankId, env: Envelope
         }
         ring.events.push_back(ev);
     }
-    shared.ranks[dest]
-        .tx
-        .send(env)
-        .expect("rank inboxes live as long as the machine");
+    match &shared.transport {
+        // Reliability layer installed: sequence the envelope, stash a
+        // retransmit copy, and put it through the fault plan.
+        Some(t) => t.send(shared, from, dest, env),
+        // Perfect transport: straight into the inbox, unsequenced.
+        None => shared.push_packet(dest, Packet { from, seq: 0, env }),
+    }
 }
 
 /// A handle to one registered message type. Cheap to copy; sending requires
@@ -233,7 +376,7 @@ impl<T> Clone for MessageType<T> {
 }
 impl<T> Copy for MessageType<T> {}
 
-impl<T: Send + 'static> MessageType<T> {
+impl<T: Clone + Send + 'static> MessageType<T> {
     /// Send `msg` to rank `dest` through `ctx`'s coalescing buffers.
     pub fn send(&self, ctx: &AmCtx, dest: RankId, msg: T) {
         ctx.send_typed(*self, dest, msg);
@@ -260,7 +403,7 @@ pub struct HandlerCtx<'a, T> {
     mt: MessageType<T>,
 }
 
-impl<'a, T: Send + 'static> HandlerCtx<'a, T> {
+impl<'a, T: Clone + Send + 'static> HandlerCtx<'a, T> {
     /// Send another message of the *handled* type.
     pub fn send(&self, dest: RankId, msg: T) {
         self.mt.send(self.am, dest, msg);
@@ -290,16 +433,55 @@ pub struct AmCtx {
     bufs: RefCell<Vec<Option<Box<dyn ErasedBuffers>>>>,
     in_epoch: Cell<bool>,
     epochs_entered: Cell<u64>,
+    /// When the current epoch's entry barrier cleared on this rank; basis
+    /// of the [`MachineConfig::epoch_deadline`] watchdog.
+    epoch_entered_at: Cell<Option<Instant>>,
 }
 
 /// Entry point: run an SPMD program on a simulated machine.
 pub struct Machine;
 
+/// A recorded failure plus, when the primary cause was a panic, the
+/// original payload so [`Machine::run`] can re-raise it verbatim.
+type RunFailure = (MachineError, Option<Box<dyn Any + Send>>);
+
 impl Machine {
     /// Spawn `cfg.ranks` main threads (plus workers) and run `f` on each;
     /// returns each rank's result, indexed by rank. Panics in `f` or in any
-    /// handler propagate.
+    /// handler propagate (with their original payload); prefer
+    /// [`Machine::try_run`] to receive failures as values.
     pub fn run<F, R>(cfg: MachineConfig, f: F) -> Vec<R>
+    where
+        F: Fn(&AmCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        match Self::run_inner(cfg, f) {
+            Ok(out) => out,
+            // Re-raise the original panic when there is one, so panic
+            // messages (and #[should_panic] expectations) survive verbatim.
+            Err((err, Some(payload))) => {
+                let _ = err;
+                std::panic::resume_unwind(payload)
+            }
+            Err((err, None)) => panic!("{err}"),
+        }
+    }
+
+    /// [`Machine::run`] with structured failure propagation: a panic on
+    /// any rank or in any handler — or a hung epoch, when
+    /// [`MachineConfig::epoch_deadline`] is armed — poisons the machine,
+    /// unwinds every surviving rank at its next collective, epoch exit, or
+    /// termination check, and is returned here as the *first* recorded
+    /// [`MachineError`]. No rank hangs and the process does not abort.
+    pub fn try_run<F, R>(cfg: MachineConfig, f: F) -> Result<Vec<R>, MachineError>
+    where
+        F: Fn(&AmCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::run_inner(cfg, f).map_err(|(err, _)| err)
+    }
+
+    fn run_inner<F, R>(cfg: MachineConfig, f: F) -> Result<Vec<R>, RunFailure>
     where
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
@@ -325,42 +507,74 @@ impl Machine {
                 let f = &f;
                 handles.push(s.spawn(move || {
                     let ctx = AmCtx::new(shared.clone(), rank, 0);
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx)));
-                    match r {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                         Ok(r) => {
-                            // All epochs done everywhere before tearing down.
-                            ctx.barrier();
+                            // All epochs done everywhere before tearing
+                            // down. On a poisoned machine the barrier
+                            // aborts; the catch below discards the result.
+                            let teardown =
+                                std::panic::catch_unwind(AssertUnwindSafe(|| ctx.barrier()));
+                            if teardown.is_err() {
+                                return None;
+                            }
                             debug_assert!(
-                                shared.ranks[rank].rx.is_empty(),
+                                shared.transport.is_some() || shared.ranks[rank].rx.is_empty(),
                                 "rank {rank} has unhandled messages after its last epoch \
                                  — termination detection fired early"
                             );
                             shared.shutdown.store(true, SeqCst);
-                            r
+                            Some(r)
                         }
                         Err(payload) => {
-                            shared.poison();
-                            std::panic::resume_unwind(payload);
+                            // Secondary aborts (Abort sentinel) carry no
+                            // information of their own; the primary failure
+                            // was recorded by whoever poisoned the machine.
+                            if !payload.is::<Abort>() {
+                                shared.fail(
+                                    MachineError::RankPanicked {
+                                        rank,
+                                        message: panic_message(payload.as_ref()),
+                                    },
+                                    Some(payload),
+                                );
+                            } else {
+                                // A lone Abort with no recorded failure can
+                                // only mean a lost race; make sure teardown
+                                // still proceeds.
+                                shared.poison();
+                            }
+                            None
                         }
                     }
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(r) => results[rank] = Some(r),
-                    // Re-raise the original panic (handler/user panics keep
-                    // their message), and unblock the other ranks' teardown.
-                    Err(payload) => {
-                        shared.shutdown.store(true, SeqCst);
-                        std::panic::resume_unwind(payload);
-                    }
+                if let Ok(r) = h.join() {
+                    results[rank] = r;
                 }
             }
+            // Failure paths skip the per-rank shutdown stores; make sure
+            // the workers wake up and exit before the scope joins them.
+            shared.shutdown.store(true, SeqCst);
         });
-        results
-            .into_iter()
-            .map(|r| r.expect("every rank produces a result"))
-            .collect()
+        if let Some(err) = shared.failure.lock().take() {
+            return Err((err, shared.failure_payload.lock().take()));
+        }
+        let mut out = Vec::with_capacity(nranks);
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Some(r) => out.push(r),
+                None => {
+                    return Err((
+                        MachineError::Poisoned {
+                            message: format!("rank {rank} produced no result and no error"),
+                        },
+                        None,
+                    ))
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -368,28 +582,47 @@ fn worker_loop(shared: Arc<Shared>, rank: RankId, thread: usize) {
     let ctx = AmCtx::new(shared.clone(), rank, thread);
     let rx = shared.ranks[rank].rx.clone();
     loop {
-        match rx.recv_timeout(shared.cfg.recv_timeout) {
-            Ok(env) => {
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    ctx.handle_envelope(env);
-                    while let Ok(env) = rx.try_recv() {
-                        ctx.handle_envelope(env);
+        if shared.poisoned.load(SeqCst) {
+            break;
+        }
+        let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            match rx.recv_timeout(shared.cfg.recv_timeout) {
+                Ok(pkt) => {
+                    ctx.handle_packet(pkt);
+                    while let Ok(pkt) = rx.try_recv() {
+                        ctx.handle_packet(pkt);
                     }
-                }));
-                if let Err(payload) = r {
-                    shared.poison();
-                    std::panic::resume_unwind(payload);
+                    // Ship whatever the handlers produced before blocking
+                    // again.
+                    ctx.flush_own_buffers();
+                    true
                 }
-                // Ship whatever the handlers produced before blocking again.
-                ctx.flush_own_buffers();
+                Err(_) => {
+                    ctx.flush_own_buffers();
+                    ctx.flush_flushables();
+                    ctx.flush_own_buffers();
+                    shared.pump_transport(rank);
+                    !(shared.shutdown.load(SeqCst) && rx.is_empty())
+                }
             }
-            Err(_) => {
-                ctx.flush_own_buffers();
-                ctx.flush_flushables();
-                ctx.flush_own_buffers();
-                if shared.shutdown.load(SeqCst) && rx.is_empty() {
-                    break;
+        }));
+        match step {
+            Ok(true) => continue,
+            Ok(false) => break,
+            Err(payload) => {
+                // handle_packet records handler panics itself and re-raises
+                // the Abort sentinel; anything else failing here (a flush
+                // path) is a worker failure in its own right.
+                if !payload.is::<Abort>() {
+                    shared.fail(
+                        MachineError::RankPanicked {
+                            rank,
+                            message: panic_message(payload.as_ref()),
+                        },
+                        Some(payload),
+                    );
                 }
+                break;
             }
         }
     }
@@ -404,6 +637,7 @@ impl AmCtx {
             bufs: RefCell::new(Vec::new()),
             in_epoch: Cell::new(false),
             epochs_entered: Cell::new(0),
+            epoch_entered_at: Cell::new(None),
         }
     }
 
@@ -605,11 +839,16 @@ impl AmCtx {
     // ------------------------------------------------------------------
 
     /// Send `msg` of registered type `mt` to rank `dest`.
-    pub fn send_msg<T: Send + 'static>(&self, mt: MessageType<T>, dest: RankId, msg: T) {
+    pub fn send_msg<T: Clone + Send + 'static>(&self, mt: MessageType<T>, dest: RankId, msg: T) {
         self.send_typed(mt, dest, msg);
     }
 
-    pub(crate) fn send_typed<T: Send + 'static>(&self, mt: MessageType<T>, dest: RankId, msg: T) {
+    pub(crate) fn send_typed<T: Clone + Send + 'static>(
+        &self,
+        mt: MessageType<T>,
+        dest: RankId,
+        msg: T,
+    ) {
         debug_assert!(
             self.epoch_active(),
             "messages may only be sent inside an epoch"
@@ -677,11 +916,10 @@ impl AmCtx {
             if slot.is_none() {
                 *slot = Some(Box::new(make()) as Box<dyn Any + Send>);
             }
-            slot.as_ref()
-                .unwrap()
-                .downcast_ref::<T>()
-                .expect("all ranks must share the same type per round")
-                .clone()
+            match slot.as_ref().and_then(|s| s.downcast_ref::<T>()) {
+                Some(v) => v.clone(),
+                None => panic!("all ranks must share the same type per round"),
+            }
         };
         self.barrier(); // all ranks cloned
                         // Idempotent clear; every take after this barrier precedes any
@@ -713,6 +951,7 @@ impl AmCtx {
         let my_gen = self.epochs_entered.get() + 1;
         self.epochs_entered.set(my_gen);
         self.in_epoch.set(true);
+        self.epoch_entered_at.set(Some(Instant::now()));
         self.shared.epoch_active.fetch_add(1, SeqCst);
         // First rank past the entry barrier stamps the epoch's start time.
         self.shared.epoch_prof.enter();
@@ -730,13 +969,15 @@ impl AmCtx {
 
         let result = f(self);
 
+        let entered = self.epoch_entered_at.get().unwrap_or_else(Instant::now);
         match self.shared.cfg.termination {
-            TerminationMode::SharedCounters => self.finish_epoch_counters(my_gen),
-            TerminationMode::FourCounterWave => self.finish_epoch_wave(my_gen),
+            TerminationMode::SharedCounters => self.finish_epoch_counters(my_gen, entered),
+            TerminationMode::FourCounterWave => self.finish_epoch_wave(my_gen, entered),
         }
 
         self.shared.epoch_active.fetch_sub(1, SeqCst);
         self.in_epoch.set(false);
+        self.epoch_entered_at.set(None);
         MachineStats::bump(&self.shared.stats.epochs, 1);
         // No rank proceeds (e.g. reads results, starts the next epoch)
         // until all have observed termination.
@@ -752,8 +993,13 @@ impl AmCtx {
         {
             let h = self.shared.total_handled();
             let s = self.shared.total_sent();
+            // Under fault injection the inbox may legitimately hold
+            // in-flight *duplicates* (the dedup layer will suppress them);
+            // the counter balance must hold either way.
+            let inbox_clear =
+                self.shared.transport.is_some() || self.shared.ranks[self.rank].rx.is_empty();
             debug_assert!(
-                self.shared.ranks[self.rank].rx.is_empty() && h == s,
+                inbox_clear && h == s,
                 "epoch {my_gen} on rank {} ended non-quiescent (handled={h}, sent={s})",
                 self.rank
             );
@@ -772,10 +1018,11 @@ impl AmCtx {
         loop {
             self.flush_flushables();
             self.flush_own_buffers();
+            self.shared.pump_transport(self.rank);
             let rx = &self.shared.ranks[self.rank].rx;
             let mut any = false;
-            while let Ok(env) = rx.try_recv() {
-                self.handle_envelope(env);
+            while let Ok(pkt) = rx.try_recv() {
+                self.handle_packet(pkt);
                 handled += 1;
                 any = true;
             }
@@ -795,6 +1042,9 @@ impl AmCtx {
         debug_assert!(self.in_epoch.get(), "try_finish is used inside an epoch");
         self.shared.check_poison();
         let my_gen = self.epochs_entered.get();
+        if let Some(entered) = self.epoch_entered_at.get() {
+            self.check_deadline(entered, my_gen);
+        }
         if self.shared.completed_epoch.load(SeqCst) >= my_gen {
             return true;
         }
@@ -828,40 +1078,84 @@ impl AmCtx {
     // Internals
     // ------------------------------------------------------------------
 
-    pub(crate) fn handle_envelope(&self, env: Envelope) {
-        let handler = {
-            let handlers = self.shared.ranks[self.rank].handlers.read();
-            handlers
-                .get(env.type_id as usize)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "message of unregistered type {} arrived at rank {}",
-                        env.type_id, self.rank
-                    )
-                })
-                .clone()
-        };
-        match &self.shared.obs {
-            None => handler(self, env.payload, env.count),
-            Some(rec) => {
-                let (type_id, count) = (env.type_id, env.count);
-                let start_ns = rec.now_ns();
-                let t0 = std::time::Instant::now();
-                handler(self, env.payload, count);
-                let dur_ns = t0.elapsed().as_nanos() as u64;
-                rec.handler_ns.record(dur_ns);
-                rec.record(SpanRecord {
-                    kind: SpanKind::Handler,
-                    name: "handler",
-                    rank: self.rank,
-                    thread: self.thread,
-                    start_ns,
-                    dur_ns,
-                    epoch: self.shared.completed_epoch.load(SeqCst) + 1,
-                    arg0: type_id as u64,
-                    arg1: count as u64,
-                });
+    /// Receive one packet off the wire: acknowledge and dedup sequenced
+    /// packets (reliability layer on), then hand the envelope to its
+    /// handler.
+    pub(crate) fn handle_packet(&self, pkt: Packet) {
+        if pkt.seq != 0 {
+            if let Some(t) = &self.shared.transport {
+                // Ack *every* receipt, including duplicates: the original
+                // ack may have been the thing that was lost.
+                t.ack(&self.shared, pkt.from, self.rank, pkt.env.type_id, pkt.seq);
+                if !t.accept(pkt.from, self.rank, pkt.seq) {
+                    MachineStats::bump(&self.shared.stats.dups_suppressed, 1);
+                    return;
+                }
             }
+        }
+        self.handle_envelope(pkt.env);
+    }
+
+    pub(crate) fn handle_envelope(&self, env: Envelope) {
+        let (type_id, count) = (env.type_id, env.count);
+        let payload = env.payload;
+        let run = || {
+            let handler = {
+                let handlers = self.shared.ranks[self.rank].handlers.read();
+                handlers
+                    .get(type_id as usize)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "message of unregistered type {} arrived at rank {}",
+                            type_id, self.rank
+                        )
+                    })
+                    .clone()
+            };
+            match &self.shared.obs {
+                None => handler(self, payload, count),
+                Some(rec) => {
+                    let start_ns = rec.now_ns();
+                    let t0 = std::time::Instant::now();
+                    handler(self, payload, count);
+                    let dur_ns = t0.elapsed().as_nanos() as u64;
+                    rec.handler_ns.record(dur_ns);
+                    rec.record(SpanRecord {
+                        kind: SpanKind::Handler,
+                        name: "handler",
+                        rank: self.rank,
+                        thread: self.thread,
+                        start_ns,
+                        dur_ns,
+                        epoch: self.shared.completed_epoch.load(SeqCst) + 1,
+                        arg0: type_id as u64,
+                        arg1: count as u64,
+                    });
+                }
+            }
+        };
+        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(run)) {
+            if !payload.is::<Abort>() {
+                let type_name = self
+                    .shared
+                    .type_stats
+                    .read()
+                    .get(type_id as usize)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                self.shared.fail(
+                    MachineError::HandlerPanicked {
+                        rank: self.rank,
+                        type_id,
+                        type_name,
+                        message: panic_message(payload.as_ref()),
+                    },
+                    Some(payload),
+                );
+            }
+            // Unwind out of whatever loop was dispatching packets; the
+            // rank supervisor recognizes the sentinel.
+            std::panic::resume_unwind(Box::new(Abort));
         }
     }
 
@@ -892,12 +1186,15 @@ impl AmCtx {
     }
 
     /// Handle all queued messages and ship all held ones. Returns whether
-    /// any progress was made.
+    /// any progress was made. Also advances the reliability layer (acks,
+    /// retransmissions, parked releases) — every idle and termination loop
+    /// runs through here, which is what keeps fault recovery live.
     fn drain_and_flush(&self) -> bool {
+        self.shared.pump_transport(self.rank);
         let mut progress = false;
         let rx = &self.shared.ranks[self.rank].rx;
-        while let Ok(env) = rx.try_recv() {
-            self.handle_envelope(env);
+        while let Ok(pkt) = rx.try_recv() {
+            self.handle_packet(pkt);
             progress = true;
         }
         if self.flush_flushables() > 0 {
@@ -909,8 +1206,39 @@ impl AmCtx {
         progress
     }
 
+    /// Fail the machine with [`MachineError::EpochDeadline`] when the
+    /// armed watchdog has expired for the epoch entered at `entered`.
+    fn check_deadline(&self, entered: Instant, my_gen: u64) {
+        let Some(deadline) = self.shared.cfg.epoch_deadline else {
+            return;
+        };
+        let waited = entered.elapsed();
+        if waited <= deadline {
+            return;
+        }
+        let stuck_ranks: Vec<RankId> = self
+            .shared
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.idle.load(SeqCst))
+            .map(|(i, _)| i)
+            .collect();
+        self.shared.fail(
+            MachineError::EpochDeadline {
+                epoch: my_gen,
+                waited,
+                stuck_ranks,
+                sent: self.shared.total_sent(),
+                handled: self.shared.total_handled(),
+            },
+            None,
+        );
+        std::panic::resume_unwind(Box::new(Abort));
+    }
+
     /// Shared-counter termination detection (see [`crate::termination`]).
-    fn finish_epoch_counters(&self, my_gen: u64) {
+    fn finish_epoch_counters(&self, my_gen: u64, entered: Instant) {
         let shared = &self.shared;
         let me = &shared.ranks[self.rank];
         let mut span = shared.obs.as_ref().map(|rec| {
@@ -927,6 +1255,7 @@ impl AmCtx {
         let mut rounds: u64 = 0;
         loop {
             shared.check_poison();
+            self.check_deadline(entered, my_gen);
             rounds += 1;
             if self.drain_and_flush() {
                 continue;
@@ -944,9 +1273,9 @@ impl AmCtx {
                 }
             }
             // Block briefly; new work lowers our idle flag.
-            if let Ok(env) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+            if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
                 me.idle.store(false, SeqCst);
-                self.handle_envelope(env);
+                self.handle_packet(pkt);
             }
         }
         if let Some(s) = span.as_mut() {
@@ -955,12 +1284,12 @@ impl AmCtx {
     }
 
     /// Four-counter wave termination detection (see [`crate::termination`]).
-    fn finish_epoch_wave(&self, my_gen: u64) {
+    fn finish_epoch_wave(&self, my_gen: u64, entered: Instant) {
         let shared = &self.shared;
         let n = shared.cfg.ranks;
         if n == 1 {
             // A ring of one: the wave degenerates to the local counter check.
-            return self.finish_epoch_counters(my_gen);
+            return self.finish_epoch_counters(my_gen, entered);
         }
         let me = &shared.ranks[self.rank];
         let mut span = shared.obs.as_ref().map(|rec| {
@@ -981,9 +1310,14 @@ impl AmCtx {
         let mut wave_in_flight = false;
         loop {
             shared.check_poison();
+            self.check_deadline(entered, my_gen);
             if self.drain_and_flush() {
+                me.idle.store(false, SeqCst);
                 continue;
             }
+            // Idle as far as the data plane is concerned (diagnostic only
+            // in this mode — detection itself reads no shared flags).
+            me.idle.store(true, SeqCst);
             // We are idle: participate in the control protocol.
             let mut terminated = false;
             while let Ok(tok) = me.ctl_rx.try_recv() {
@@ -1012,10 +1346,7 @@ impl AmCtx {
                     let cur = (sent, handled);
                     if sent == handled && prev_wave == Some(cur) {
                         for r in 1..n {
-                            shared.ranks[r]
-                                .ctl_tx
-                                .send(Token::Terminate)
-                                .expect("control channels outlive epochs");
+                            shared.push_token(r, Token::Terminate);
                         }
                         shared.completed_epoch.fetch_max(my_gen, SeqCst);
                         break;
@@ -1028,10 +1359,7 @@ impl AmCtx {
                         sent: sent + me.sent.load(SeqCst),
                         handled: handled + me.handled.load(SeqCst),
                     };
-                    shared.ranks[ring_next(self.rank, n)]
-                        .ctl_tx
-                        .send(tok)
-                        .expect("control channels outlive epochs");
+                    shared.push_token(ring_next(self.rank, n), tok);
                 }
             }
             if self.rank == 0 && !wave_in_flight {
@@ -1041,17 +1369,16 @@ impl AmCtx {
                     sent: me.sent.load(SeqCst),
                     handled: me.handled.load(SeqCst),
                 };
-                shared.ranks[ring_next(0, n)]
-                    .ctl_tx
-                    .send(tok)
-                    .expect("control channels outlive epochs");
+                shared.push_token(ring_next(0, n), tok);
                 wave_in_flight = true;
             }
             // Block briefly on the data channel.
-            if let Ok(env) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
-                self.handle_envelope(env);
+            if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+                me.idle.store(false, SeqCst);
+                self.handle_packet(pkt);
             }
         }
+        me.idle.store(true, SeqCst);
         // Drain any stale control traffic for this epoch.
         while me.ctl_rx.try_recv().is_ok() {}
         if let Some(s) = span.as_mut() {

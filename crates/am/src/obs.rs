@@ -149,6 +149,9 @@ pub enum SpanKind {
     /// A strategy-level phase (per-bucket drain, per-round sweep; `arg0`
     /// is strategy-defined, e.g. the bucket index).
     Strategy,
+    /// Reliability-layer activity under fault injection (`arg0` = lane
+    /// index, `arg1` = sequence number; see [`crate::fault`]).
+    Transport,
     /// User-defined span recorded through
     /// [`AmCtx::span`](crate::AmCtx::span).
     Custom,
@@ -165,6 +168,7 @@ impl SpanKind {
             SpanKind::Eval => "engine",
             SpanKind::Expand => "engine",
             SpanKind::Strategy => "strategy",
+            SpanKind::Transport => "transport",
             SpanKind::Custom => "custom",
         }
     }
@@ -511,7 +515,9 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
         "{{\"messages_sent\":{},\"envelopes_sent\":{},\"messages_handled\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"reduction_combines\":{},\
          \"reduction_forwards\":{},\"epochs\":{},\"control_tokens\":{},\
-         \"trace_dropped\":{}}}",
+         \"trace_dropped\":{},\"injected_drops\":{},\"injected_dups\":{},\
+         \"injected_delays\":{},\"injected_reorders\":{},\"retransmits\":{},\
+         \"acks\":{},\"dups_suppressed\":{}}}",
         s.messages_sent,
         s.envelopes_sent,
         s.messages_handled,
@@ -522,6 +528,13 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
         s.epochs,
         s.control_tokens,
         s.trace_dropped,
+        s.injected_drops,
+        s.injected_dups,
+        s.injected_delays,
+        s.injected_reorders,
+        s.retransmits,
+        s.acks,
+        s.dups_suppressed,
     ));
 }
 

@@ -34,6 +34,23 @@ pub struct MachineStats {
     /// [`crate::MachineConfig::trace`]). Nonzero means `AmCtx::trace` is a
     /// suffix of the run, not the whole run.
     pub trace_dropped: AtomicU64,
+    /// Envelope transmissions suppressed by the fault layer (the packet
+    /// was "lost on the wire" and sits in the sender's retransmit buffer).
+    pub injected_drops: AtomicU64,
+    /// Duplicate envelope transmissions injected by the fault layer.
+    pub injected_dups: AtomicU64,
+    /// Envelope transmissions the fault layer held back for a few ticks.
+    pub injected_delays: AtomicU64,
+    /// Envelope transmissions the fault layer let later traffic overtake.
+    pub injected_reorders: AtomicU64,
+    /// Envelope retransmissions performed by the reliability layer after
+    /// an ack timeout.
+    pub retransmits: AtomicU64,
+    /// Acknowledgements processed by senders (pending entries retired).
+    pub acks: AtomicU64,
+    /// Envelopes discarded by receiver-side sequence dedup (exactly-once
+    /// delivery under duplicate/retransmit faults).
+    pub dups_suppressed: AtomicU64,
 }
 
 impl MachineStats {
@@ -55,6 +72,13 @@ impl MachineStats {
             epochs: self.epochs.load(Ordering::SeqCst),
             control_tokens: self.control_tokens.load(Ordering::SeqCst),
             trace_dropped: self.trace_dropped.load(Ordering::SeqCst),
+            injected_drops: self.injected_drops.load(Ordering::SeqCst),
+            injected_dups: self.injected_dups.load(Ordering::SeqCst),
+            injected_delays: self.injected_delays.load(Ordering::SeqCst),
+            injected_reorders: self.injected_reorders.load(Ordering::SeqCst),
+            retransmits: self.retransmits.load(Ordering::SeqCst),
+            acks: self.acks.load(Ordering::SeqCst),
+            dups_suppressed: self.dups_suppressed.load(Ordering::SeqCst),
         }
     }
 }
@@ -124,6 +148,20 @@ pub struct StatsSnapshot {
     pub control_tokens: u64,
     /// Trace events evicted from the bounded envelope trace ring.
     pub trace_dropped: u64,
+    /// Envelope transmissions dropped by the fault layer.
+    pub injected_drops: u64,
+    /// Duplicate envelope transmissions injected by the fault layer.
+    pub injected_dups: u64,
+    /// Envelope transmissions delayed by the fault layer.
+    pub injected_delays: u64,
+    /// Envelope transmissions reordered by the fault layer.
+    pub injected_reorders: u64,
+    /// Envelope retransmissions after ack timeouts.
+    pub retransmits: u64,
+    /// Acknowledgements processed by senders.
+    pub acks: u64,
+    /// Envelopes suppressed by receiver-side sequence dedup.
+    pub dups_suppressed: u64,
 }
 
 impl StatsSnapshot {
@@ -135,6 +173,13 @@ impl StatsSnapshot {
         } else {
             self.messages_sent as f64 / self.envelopes_sent as f64
         }
+    }
+
+    /// Total perturbations injected by the fault layer (drops, duplicates,
+    /// delays, reorders). Zero when faults are disabled; chaos tests assert
+    /// this is nonzero to prove their faults actually fired.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected_drops + self.injected_dups + self.injected_delays + self.injected_reorders
     }
 
     /// Counter-wise difference (`self - earlier`), for measuring one phase.
@@ -162,6 +207,15 @@ impl StatsSnapshot {
             epochs: self.epochs.saturating_sub(earlier.epochs),
             control_tokens: self.control_tokens.saturating_sub(earlier.control_tokens),
             trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+            injected_drops: self.injected_drops.saturating_sub(earlier.injected_drops),
+            injected_dups: self.injected_dups.saturating_sub(earlier.injected_dups),
+            injected_delays: self.injected_delays.saturating_sub(earlier.injected_delays),
+            injected_reorders: self
+                .injected_reorders
+                .saturating_sub(earlier.injected_reorders),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            acks: self.acks.saturating_sub(earlier.acks),
+            dups_suppressed: self.dups_suppressed.saturating_sub(earlier.dups_suppressed),
         }
     }
 }

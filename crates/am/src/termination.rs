@@ -52,6 +52,20 @@
 //! and every handler lowers its rank's idle flag when it starts, so a
 //! handler that deposited local work after a rank last declared itself idle
 //! is always caught by one of the two scans.
+//!
+//! ## Interaction with fault injection
+//!
+//! Both detectors remain correct under an unreliable transport
+//! ([`crate::FaultPlan`]) because no fault ever removes a message from the
+//! `sent` side of the ledger: a dropped, delayed, reordered or
+//! retransmission-pending envelope was counted at `sent` time and bumps
+//! `handled` only on actual (first) delivery, while duplicates and
+//! retransmits are suppressed by per-lane dedup *before* `handled` is
+//! incremented. Neither detector can therefore observe `handled == sent`
+//! while anything is parked in the fault layer; liveness comes from
+//! `Transport::pump` being called in every blocking loop, so
+//! retransmissions progress while ranks sit in detection. See
+//! `docs/INTERNALS.md` §7.
 
 use crate::machine::RankId;
 

@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every figure and experiment in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e12, or
+//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e13, or
 //! nothing (= all). Scale with `--small` for quick runs. `--metrics DIR`
 //! makes E12 write `metrics.json` and `trace.json` (Chrome trace-event
 //! format, loadable in Perfetto / `chrome://tracing`) into DIR.
@@ -80,6 +80,9 @@ fn main() {
     }
     if want("e12") {
         exp::e12(small, metrics_dir.as_deref());
+    }
+    if want("e13") {
+        exp::e13(small);
     }
     eprintln!("\ntotal harness time: {:?}", t0.elapsed());
 }
@@ -922,5 +925,130 @@ mod exp {
         } else {
             println!("(pass --metrics DIR to write metrics.json and trace.json)");
         }
+    }
+
+    /// E13 — chaos engineering: deterministic fault injection + reliable
+    /// delivery keep SSSP and CC bit-identical to fault-free runs.
+    pub fn e13(small: bool) {
+        use dgp_algorithms::{run_cc, run_cc_cfg_stats, run_sssp, run_sssp_cfg_stats};
+        use dgp_am::FaultPlan;
+        use std::time::Instant;
+
+        header(
+            "E13",
+            "fault-injected runs are bit-identical to fault-free runs",
+            "robustness of the AM runtime the patterns compile onto (§III)",
+        );
+        let scale = if small { 8 } else { 11 };
+        let el = workloads::rmat_weighted(scale, 8, 131);
+        let ranks = 3;
+        println!(
+            "workload: RMAT scale {scale} ({} vertices, {} edges), {ranks} ranks, Δ=0.4",
+            el.num_vertices(),
+            el.num_edges()
+        );
+        println!("seeds: 0xC0FFEE, 42, 7; coalescing capacity 8 (many small envelopes)\n");
+
+        let t0 = Instant::now();
+        let clean = run_sssp(&el, ranks, 0, SsspStrategy::Delta(0.4));
+        let clean_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let clean_bits: Vec<u64> = clean.iter().map(|d| d.to_bits()).collect();
+        let oracle = seq::dijkstra(&el, 0);
+        assert!(
+            clean
+                .iter()
+                .zip(&oracle)
+                .all(|(a, b)| (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite())),
+            "fault-free SSSP must match Dijkstra"
+        );
+
+        type PlanCtor = fn(u64) -> FaultPlan;
+        let plans: [(&str, PlanCtor); 3] = [
+            ("drop 30%", |s| FaultPlan::new(s).drop(0.3)),
+            ("dup 30% + reorder 50%", |s| {
+                FaultPlan::new(s).duplicate(0.3).reorder(0.5)
+            }),
+            ("chaos preset", FaultPlan::chaos),
+        ];
+        let mut t = Table::new(&[
+            "fault plan",
+            "seed",
+            "time",
+            "drops",
+            "dups",
+            "delays",
+            "reorders",
+            "retransmits",
+            "suppressed",
+            "identical",
+        ]);
+        for (label, mk) in plans {
+            for seed in [0xC0FFEEu64, 42, 7] {
+                let cfg = MachineConfig::new(ranks).coalescing(8).faults(mk(seed));
+                let t1 = Instant::now();
+                let (got, stats) = run_sssp_cfg_stats(&el, cfg, 0, SsspStrategy::Delta(0.4));
+                let ms = t1.elapsed().as_secs_f64() * 1e3;
+                let identical = got.iter().map(|d| d.to_bits()).collect::<Vec<_>>() == clean_bits;
+                assert!(identical, "{label} seed {seed}: results diverged");
+                t.row(vec![
+                    label.to_string(),
+                    format!("{seed:#x}"),
+                    fmt_ms(ms),
+                    stats.injected_drops.to_string(),
+                    stats.injected_dups.to_string(),
+                    stats.injected_delays.to_string(),
+                    stats.injected_reorders.to_string(),
+                    stats.retransmits.to_string(),
+                    stats.dups_suppressed.to_string(),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+        t.print();
+        println!(
+            "\nfault-free baseline: {} — every faulted run above returned the exact",
+            fmt_ms(clean_ms)
+        );
+        println!("same 64-bit distance words (SSSP's min-combiner is order-independent,");
+        println!("so exactly-once delivery makes chaos invisible in the output).");
+
+        // CC under the chaos preset, both termination detectors.
+        let cc_clean = run_cc(&el, ranks);
+        let mut t = Table::new(&[
+            "termination",
+            "seed",
+            "time",
+            "faults",
+            "retransmits",
+            "identical",
+        ]);
+        for mode in [
+            TerminationMode::SharedCounters,
+            TerminationMode::FourCounterWave,
+        ] {
+            for seed in [0xC0FFEEu64, 42, 7] {
+                let cfg = MachineConfig::new(ranks)
+                    .coalescing(8)
+                    .faults(FaultPlan::chaos(seed))
+                    .termination(mode);
+                let t1 = Instant::now();
+                let (got, stats) = run_cc_cfg_stats(&el, cfg);
+                let ms = t1.elapsed().as_secs_f64() * 1e3;
+                let identical = got == cc_clean;
+                assert!(identical, "CC {mode:?} seed {seed}: labels diverged");
+                t.row(vec![
+                    format!("{mode:?}"),
+                    format!("{seed:#x}"),
+                    fmt_ms(ms),
+                    stats.faults_injected().to_string(),
+                    stats.retransmits.to_string(),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+        println!("\nCC labels under the chaos preset, both termination detectors:\n");
+        t.print();
+        println!("\nneither detector declares quiescence while retransmits are in flight —");
+        println!("dropped envelopes stay counted as sent-but-unhandled until redelivered.");
     }
 }

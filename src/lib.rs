@@ -46,10 +46,11 @@ pub use dgp_graph as graph;
 /// The commonly-needed surface in one import.
 pub mod prelude {
     pub use dgp_algorithms::{
-        run_bfs, run_cc, run_coloring, run_kcore, run_pagerank, run_sssp, run_sssp_profiled,
+        run_bfs, run_cc, run_cc_cfg, run_cc_cfg_stats, run_coloring, run_kcore, run_pagerank,
+        run_pagerank_cfg, run_sssp, run_sssp_cfg, run_sssp_cfg_stats, run_sssp_profiled,
         SsspStrategy,
     };
-    pub use dgp_am::{AmCtx, Machine, MachineConfig, TerminationMode};
+    pub use dgp_am::{AmCtx, FaultPlan, Machine, MachineConfig, MachineError, TerminationMode};
     pub use dgp_core::builder::ActionBuilder;
     pub use dgp_core::engine::{EngineConfig, PatternEngine, SyncMode, Val};
     pub use dgp_core::ir::{GeneratorIr, Place};

@@ -1,10 +1,15 @@
 //! Failure injection: panics anywhere in the machine must propagate
 //! instead of deadlocking, and API misuse must be caught loudly.
 
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use dgp::prelude::*;
 
 /// A panic in a message handler reaches the caller (and does not hang the
-/// other ranks in their epoch barriers).
+/// other ranks in their epoch barriers). The original panic message
+/// survives `Machine::run`'s re-raise.
 #[test]
 fn handler_panic_propagates() {
     let result = std::panic::catch_unwind(|| {
@@ -21,23 +26,115 @@ fn handler_panic_propagates() {
             });
         });
     });
-    assert!(result.is_err(), "panic must propagate out of Machine::run");
+    let payload = result.expect_err("panic must propagate out of Machine::run");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("injected handler failure"), "{msg}");
+}
+
+/// The same failure through the structured API: `try_run` returns
+/// `Err(HandlerPanicked)` naming the rank, type, and message — on every
+/// surviving rank, without hanging.
+#[test]
+fn handler_panic_surfaces_as_machine_error() {
+    let err = Machine::try_run(MachineConfig::new(4), |ctx| {
+        let mt = ctx.register_named("bomb", |_ctx, x: u32| {
+            assert!(x < 3, "injected handler failure");
+        });
+        ctx.epoch(|ctx| {
+            if ctx.rank() == 0 {
+                for x in 0..10u32 {
+                    mt.send(ctx, (x as usize) % ctx.num_ranks(), x);
+                }
+            }
+        });
+    })
+    .expect_err("handler panic must surface as a MachineError");
+    match err {
+        MachineError::HandlerPanicked {
+            type_name, message, ..
+        } => {
+            assert_eq!(type_name, "bomb");
+            assert!(message.contains("injected handler failure"), "{message}");
+        }
+        other => panic!("expected HandlerPanicked, got {other}"),
+    }
 }
 
 /// A panic in one rank's program poisons the collectives so other ranks
-/// fail fast rather than waiting forever.
+/// fail fast rather than waiting forever: the survivors must observe the
+/// poisoned barrier *promptly* (well inside the generous cap below), and
+/// the recorded error must name the failed rank.
 #[test]
 fn rank_panic_poisons_collectives() {
-    let result = std::panic::catch_unwind(|| {
-        Machine::run(MachineConfig::new(3), |ctx| {
-            if ctx.rank() == 1 {
-                panic!("injected rank failure");
-            }
-            // Other ranks head into a barrier that can never complete.
-            ctx.barrier();
-        });
-    });
-    assert!(result.is_err());
+    let survivors_released = Arc::new(AtomicU64::new(0));
+    let s2 = survivors_released.clone();
+    let started = Instant::now();
+    let err = Machine::try_run(MachineConfig::new(3), move |ctx| {
+        if ctx.rank() == 1 {
+            // Give the survivors time to actually block in the barrier,
+            // so the test exercises the wake-on-poison path and not just
+            // the check-on-entry path.
+            std::thread::sleep(Duration::from_millis(50));
+            panic!("injected rank failure");
+        }
+        // Other ranks head into a barrier that can never complete.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.barrier()));
+        assert!(r.is_err(), "the poisoned barrier must not complete");
+        s2.fetch_add(1, SeqCst);
+        // Re-raise so the machine records this rank as aborted, not as
+        // having produced a result after a failed collective.
+        std::panic::resume_unwind(r.unwrap_err());
+    })
+    .expect_err("rank panic must surface");
+    let waited = started.elapsed();
+    match err {
+        MachineError::RankPanicked { rank, message } => {
+            assert_eq!(rank, 1, "error must name the failed rank");
+            assert!(message.contains("injected rank failure"), "{message}");
+        }
+        other => panic!("expected RankPanicked, got {other}"),
+    }
+    assert_eq!(
+        survivors_released.load(SeqCst),
+        2,
+        "both survivors must be released from the barrier"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "survivors took {waited:?} to observe the poison — that is a hang, not fail-fast"
+    );
+}
+
+/// A handler panic mid-epoch releases ranks blocked in termination
+/// detection (the check_poison path inside the finish loops).
+#[test]
+fn handler_panic_releases_termination_detection() {
+    for mode in [
+        TerminationMode::SharedCounters,
+        TerminationMode::FourCounterWave,
+    ] {
+        let err = Machine::try_run(MachineConfig::new(3).termination(mode), |ctx| {
+            let mt = ctx.register(|_ctx, x: u64| {
+                assert!(x != 5, "poison pill");
+            });
+            ctx.epoch(|ctx| {
+                if ctx.rank() == 0 {
+                    for i in 0..10u64 {
+                        mt.send(ctx, (i as usize) % ctx.num_ranks(), i);
+                    }
+                }
+            });
+        })
+        .expect_err("the poison pill must fail the machine");
+        assert!(
+            matches!(err, MachineError::HandlerPanicked { .. }),
+            "mode {mode:?}: got {err}"
+        );
+    }
 }
 
 /// Epochs must not nest.
