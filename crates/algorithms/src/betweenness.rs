@@ -28,7 +28,7 @@ use crate::patterns;
 use crate::util::{local_vertices, owned_seeds};
 
 /// `sigma[trg] += sigma[v]` over BFS-tree edges.
-fn sigma_push(level: MapId, sigma: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn sigma_push(level: MapId, sigma: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("bc_sigma_push", GeneratorIr::OutEdges);
     let l_t = b.read_vertex(level, Place::GenTrg);
     let l_v = b.read_vertex(level, Place::Input);
@@ -44,7 +44,11 @@ fn sigma_push(level: MapId, sigma: MapId) -> dgp_core::builder::BuiltAction {
 
 /// `delta[v] += sigma[v]/sigma[trg] * (1 + delta[trg])` over tree edges
 /// (gather at `trg(e)`, accumulate at `v` — a pull-shaped plan).
-fn delta_pull(level: MapId, sigma: MapId, delta: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn delta_pull(
+    level: MapId,
+    sigma: MapId,
+    delta: MapId,
+) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("bc_delta_pull", GeneratorIr::OutEdges);
     let l_t = b.read_vertex(level, Place::GenTrg);
     let l_v = b.read_vertex(level, Place::Input);

@@ -29,7 +29,7 @@ use crate::util::local_vertices;
 
 const UNCOLORED: u64 = u64::MAX;
 
-fn collect_used(color: MapId, used: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn collect_used(color: MapId, used: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("collect_used", GeneratorIr::Adj);
     let c_u = b.read_vertex(color, Place::GenVertex);
     b.cond(&[c_u], move |e| e.u64(c_u) != UNCOLORED).assign(
@@ -41,7 +41,7 @@ fn collect_used(color: MapId, used: MapId) -> dgp_core::builder::BuiltAction {
     b.build().expect("collect_used is a valid action")
 }
 
-fn flag_bigger(color: MapId, blocked: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn flag_bigger(color: MapId, blocked: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("flag_bigger", GeneratorIr::Adj);
     let c_u = b.read_vertex(color, Place::GenVertex);
     b.cond(&[c_u], move |e| {

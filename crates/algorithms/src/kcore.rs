@@ -21,7 +21,7 @@ use crate::util::local_vertices;
 
 /// The per-round counting pattern: every active vertex adds 1 to each
 /// neighbour's live-degree accumulator.
-fn count_active(active: u32, acc: u32) -> dgp_core::builder::BuiltAction {
+pub(crate) fn count_active(active: u32, acc: u32) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("count_active", GeneratorIr::OutEdges);
     let a_v = b.read_vertex(active, Place::Input);
     b.cond(&[a_v], move |e| e.bool(a_v))

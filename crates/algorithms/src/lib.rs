@@ -29,6 +29,7 @@ pub mod mis;
 pub mod pagerank;
 pub mod paths;
 pub mod patterns;
+pub mod registry;
 pub mod seq;
 pub mod sssp;
 pub mod util;
@@ -37,4 +38,5 @@ pub use api::{
     run_bfs, run_cc, run_cc_cfg, run_cc_cfg_stats, run_coloring, run_kcore, run_pagerank,
     run_pagerank_cfg, run_sssp, run_sssp_cfg, run_sssp_cfg_stats, run_sssp_profiled,
 };
+pub use registry::{builtin_patterns, RegisteredPattern};
 pub use sssp::SsspStrategy;

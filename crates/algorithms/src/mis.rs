@@ -22,7 +22,11 @@ const IN: u64 = 1;
 const OUT: u64 = 2;
 
 /// blocked[v] = true if some undecided neighbour has higher (priority, id).
-fn flag_blocked(state: MapId, prio: MapId, blocked: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn flag_blocked(
+    state: MapId,
+    prio: MapId,
+    blocked: MapId,
+) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("mis_flag_blocked", GeneratorIr::Adj);
     let s_u = b.read_vertex(state, Place::GenVertex);
     let p_u = b.read_vertex(prio, Place::GenVertex);
@@ -35,7 +39,7 @@ fn flag_blocked(state: MapId, prio: MapId, blocked: MapId) -> dgp_core::builder:
 }
 
 /// excluded[v] = true if some neighbour is already in the set.
-fn flag_excluded(state: MapId, excluded: MapId) -> dgp_core::builder::BuiltAction {
+pub(crate) fn flag_excluded(state: MapId, excluded: MapId) -> dgp_core::builder::BuiltAction {
     let mut b = ActionBuilder::new("mis_flag_excluded", GeneratorIr::Adj);
     let s_u = b.read_vertex(state, Place::GenVertex);
     b.cond(&[s_u], move |e| e.u64(s_u) == IN)

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dgp_algorithms::patterns;
-use dgp_core::ir::{ActionIr, ConditionIr, ModificationIr, Place, ReadRef, Slot};
+use dgp_core::ir::{ActionIr, ConditionIr, ModKind, ModificationIr, Place, ReadRef, Slot};
 use dgp_core::plan::{compile, PlanMode};
 
 fn fig5_ir() -> ActionIr {
@@ -45,6 +45,7 @@ fn fig5_ir() -> ActionIr {
                 map: val,
                 at: n5,
                 reads: vec![Slot(1)],
+                kind: ModKind::Assign,
             }],
             is_else: false,
         }],

@@ -5,12 +5,65 @@
 //! nothing (= all). Scale with `--small` for quick runs. `--metrics DIR`
 //! makes E12 write `metrics.json` and `trace.json` (Chrome trace-event
 //! format, loadable in Perfetto / `chrome://tracing`) into DIR.
+//! `--lint` skips the experiments entirely and instead runs the static
+//! verifier (`dgp-core::verify`) over every registered pattern family,
+//! printing a diagnostics table; it exits nonzero if any error-severity
+//! diagnostic is found (CI runs this).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// `--lint`: verify every registered pattern family statically and print
+/// the findings. Exit code 1 if any diagnostic is error-severity.
+fn lint() -> ! {
+    use dgp_bench::table::Table;
+    use dgp_core::verify::Severity;
+
+    let mut t = Table::new(&["pattern", "action", "code", "severity", "place", "message"]);
+    let mut findings = 0usize;
+    let mut errors = 0usize;
+    let mut clean = 0usize;
+    for p in dgp_algorithms::builtin_patterns() {
+        let report = p.verify();
+        if report.is_clean() {
+            clean += 1;
+            continue;
+        }
+        for d in &report.diagnostics {
+            findings += 1;
+            if d.severity == Severity::Error {
+                errors += 1;
+            }
+            t.row(vec![
+                p.name.to_string(),
+                d.action.clone(),
+                format!("{} {}", d.code.as_str(), d.code.title()),
+                match d.severity {
+                    Severity::Error => "error".to_string(),
+                    Severity::Warning => "warning".to_string(),
+                },
+                d.place
+                    .as_ref()
+                    .map(|pl| format!("{pl}"))
+                    .unwrap_or_default(),
+                d.message.clone(),
+            ]);
+        }
+    }
+    if findings > 0 {
+        t.print();
+    }
+    println!(
+        "\n{clean} pattern families verification clean; {findings} finding(s), {errors} error(s)"
+    );
+    std::process::exit(if errors > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--lint") {
+        lint();
+    }
     let small = args.iter().any(|a| a == "--small");
     let metrics_dir: Option<PathBuf> = args.iter().position(|a| a == "--metrics").map(|i| {
         if i + 1 >= args.len() {

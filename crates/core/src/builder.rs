@@ -43,17 +43,65 @@ use std::sync::Arc;
 
 use crate::engine::{EnvView, ModExec, ModOp, Val};
 use crate::ir::{ActionIr, ConditionIr, GeneratorIr, MapId, ModificationIr, Place, ReadRef, Slot};
+use crate::verify::{Diagnostic, Report};
 
 /// A compiled condition test over the gathered payload.
 pub type TestFn = Arc<dyn Fn(&EnvView<'_>) -> bool + Send + Sync>;
+
+/// Why an action failed to build: the static verifier's error-severity
+/// findings ([`crate::verify`], diagnostic codes `L001`–`P006`).
+#[derive(Debug, Clone)]
+pub struct BuildError {
+    /// Every finding, errors first (warnings ride along for context).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl BuildError {
+    /// The verifier findings as a report.
+    pub fn report(&self) -> Report {
+        Report {
+            diagnostics: self.diagnostics.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "action failed verification:")?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<BuildError> for String {
+    fn from(e: BuildError) -> String {
+        e.to_string()
+    }
+}
 
 /// An action ready for [`crate::engine::PatternEngine::add_action`]: the
 /// analyzed IR plus the executable closures.
 pub struct BuiltAction {
     /// The analyzed IR (inspect, plan, render).
     pub ir: ActionIr,
+    /// Warning-severity verifier findings from [`ActionBuilder::build`]
+    /// (an action with error-severity findings does not build at all).
+    pub diagnostics: Vec<Diagnostic>,
     pub(crate) tests: Vec<TestFn>,
     pub(crate) mods: Vec<Vec<ModExec>>,
+}
+
+impl std::fmt::Debug for BuiltAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltAction")
+            .field("ir", &self.ir)
+            .field("diagnostics", &self.diagnostics)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Builds one action of a pattern.
@@ -138,17 +186,26 @@ impl ActionBuilder {
         CondBuilder { b: self, idx }
     }
 
-    /// Finish: validates the structural restrictions of §III.
-    pub fn build(self) -> Result<BuiltAction, String> {
+    /// Finish: validates the structural restrictions of §III and runs the
+    /// full static verifier ([`crate::verify::verify_ir`]) over both plan
+    /// modes. Error-severity findings reject the action; warnings are
+    /// returned on [`BuiltAction::diagnostics`].
+    pub fn build(self) -> Result<BuiltAction, BuildError> {
         let ir = ActionIr {
             name: self.name,
             generator: self.generator,
             slots: self.slots,
             conditions: self.conditions,
         };
-        ir.validate()?;
+        let report = crate::verify::verify_ir(&ir);
+        if report.has_errors() {
+            return Err(BuildError {
+                diagnostics: report.diagnostics,
+            });
+        }
         Ok(BuiltAction {
             ir,
+            diagnostics: report.diagnostics,
             tests: self.tests,
             mods: self.mods,
         })
@@ -199,6 +256,7 @@ impl<'a> CondBuilder<'a> {
             map,
             at,
             reads: reads.to_vec(),
+            kind: op,
         });
         self.b.mods[self.idx].push(ModExec {
             op,

@@ -36,15 +36,10 @@ pub struct ActionMsg {
     env: EnvArr,
 }
 
-/// How a modification applies its computed value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ModOp {
-    /// `map[target] = computed`.
-    Assign,
-    /// `map[target].insert(computed)` — the paper's
-    /// modification-through-interface on a set-valued map.
-    Insert,
-}
+/// How a modification applies its computed value. The same distinction is
+/// recorded statically in [`crate::ir::ModificationIr::kind`]; this alias
+/// keeps the engine's historical name for it.
+pub use crate::ir::ModKind as ModOp;
 
 /// Computes a modification's new (or inserted) value from the payload and
 /// the target's current value.
@@ -106,6 +101,10 @@ struct EngineInner {
     hooks: RwLock<Vec<Option<WorkHook>>>,
     lock_map: LockMap,
     stats: EngineStats,
+    /// Owner-only accesses observed away from their locality — only
+    /// counted when [`EngineConfig::validate_locality`] is set (the
+    /// dynamic cross-validator of the static verifier).
+    locality_violations: AtomicU64,
     msg: OnceLock<MessageType<ActionMsg>>,
 }
 
@@ -131,6 +130,7 @@ impl PatternEngine {
             hooks: RwLock::new(Vec::new()),
             lock_map: LockMap::new(locals, cfg.lock_granularity),
             stats: EngineStats::default(),
+            locality_violations: AtomicU64::new(0),
             msg: OnceLock::new(),
         });
         let handler_inner = inner.clone();
@@ -202,7 +202,9 @@ impl PatternEngine {
     /// Register an action built with [`crate::builder::ActionBuilder`].
     /// Collective: same order on every rank.
     pub fn add_action(&self, built: crate::builder::BuiltAction) -> Result<ActionId, String> {
-        let crate::builder::BuiltAction { ir, tests, mods } = built;
+        let crate::builder::BuiltAction {
+            ir, tests, mods, ..
+        } = built;
         if ir.slots.len() > MAX_SLOTS {
             return Err(format!(
                 "action {:?} declares {} reads; the engine supports at most {MAX_SLOTS}",
@@ -311,6 +313,14 @@ impl PatternEngine {
         self.inner.stats.snapshot()
     }
 
+    /// Owner-only accesses observed away from their locality on this rank.
+    /// Always zero unless [`EngineConfig::validate_locality`] is set; with
+    /// it set, a verifier-clean pattern must keep this at zero (the
+    /// differential property the test suite checks).
+    pub fn locality_violations(&self) -> u64 {
+        self.inner.locality_violations.load(Ordering::SeqCst)
+    }
+
     /// Per-action message counts on this rank: `(action name, ActionMsg
     /// sends)`, in registration order. Attributes the machine's message
     /// traffic to the actions that caused it (initial invocations plus
@@ -348,6 +358,24 @@ fn resolver_for(ir: &ActionIr, p: &Place) -> Result<Resolver, String> {
 }
 
 impl EngineInner {
+    /// Dynamic owner-only check (Def. 1): `actual` must be the vertex the
+    /// message is executing at. With `validate_locality` the violation is
+    /// counted (for the differential test against the static verifier);
+    /// without it, debug builds keep the historical hard assert.
+    fn check_locality(&self, actual: VertexId, expected: VertexId, what: &str, name: &str) {
+        if actual == expected {
+            return;
+        }
+        if self.cfg.validate_locality {
+            self.locality_violations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            debug_assert_eq!(
+                actual, expected,
+                "{what} of {name:?} away from its locality"
+            );
+        }
+    }
+
     fn resolve(&self, r: Resolver, msg: &ActionMsg) -> VertexId {
         match r {
             Resolver::Input => msg.v,
@@ -371,11 +399,7 @@ impl EngineInner {
         match &action.readers[slot] {
             SlotReader::Vertex { map, resolver } => {
                 let y = self.resolve(*resolver, msg);
-                debug_assert_eq!(
-                    y, msg.at,
-                    "slot {slot} of {:?} gathered away from its locality",
-                    action.ir.name
-                );
+                self.check_locality(y, msg.at, "slot read", &action.ir.name);
                 self.maps.read()[*map].read_vertex(self.rank, y)
             }
             SlotReader::Edge { map } => match msg.gen {
@@ -602,7 +626,7 @@ impl EngineInner {
             let op = action.mods[cond][mi].op;
             if slot_matches && op == ModOp::Assign {
                 let target = self.resolve(action.mod_target_resolvers[cond][mi], msg);
-                debug_assert_eq!(target, msg.at);
+                self.check_locality(target, msg.at, "atomic modification", &action.ir.name);
                 let test = &action.tests[cond];
                 let compute = &action.mods[cond][mi].compute;
                 let (v_in, gen) = (msg.v, msg.gen);
@@ -696,10 +720,7 @@ impl EngineInner {
         for &mi in mods {
             let m = &action.ir.conditions[cond].mods[mi];
             let target = self.resolve(action.mod_target_resolvers[cond][mi], msg);
-            debug_assert_eq!(
-                target, msg.at,
-                "modification applied away from its locality"
-            );
+            self.check_locality(target, msg.at, "modification", &action.ir.name);
             let exec = &action.mods[cond][mi];
             let maps = self.maps.read();
             let changed = match exec.op {

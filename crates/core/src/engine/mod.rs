@@ -50,6 +50,12 @@ pub struct EngineConfig {
     /// through the message layer (faithful to the pure message-passing
     /// model) or executes inline (a shared-memory shortcut).
     pub self_send: bool,
+    /// Dynamic cross-validator for the static verifier
+    /// ([`crate::verify`]): count owner-only accesses executed away from
+    /// their locality in [`PatternEngine::locality_violations`] instead of
+    /// debug-asserting on them. Off by default (debug builds then keep the
+    /// hard assert).
+    pub validate_locality: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +65,7 @@ impl Default for EngineConfig {
             sync: SyncMode::Atomic,
             lock_granularity: LockGranularity::PerVertex,
             self_send: true,
+            validate_locality: false,
         }
     }
 }

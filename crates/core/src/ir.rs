@@ -124,6 +124,20 @@ impl ReadRef {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Slot(pub usize);
 
+/// How a modification applies its computed value — statically visible so
+/// the verifier can distinguish last-writer-wins assignments from
+/// order-insensitive reductions ("it is safe to call the insert function
+/// on the set of vertices", §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModKind {
+    /// `map[target] = computed` — replaces the stored value.
+    #[default]
+    Assign,
+    /// `map[target].insert(computed)` — modification through a set value's
+    /// interface; commutative, so concurrent applications cannot race.
+    Insert,
+}
+
 /// One modification statement: `target_map[target] = f(reads...)`, where
 /// the *leftmost* accessed value is the modified one (the paper's
 /// modification rule) and everything else is a read.
@@ -135,6 +149,8 @@ pub struct ModificationIr {
     pub at: Place,
     /// Slots the right-hand side reads.
     pub reads: Vec<Slot>,
+    /// How the computed value is applied (assignment vs. reduction).
+    pub kind: ModKind,
 }
 
 /// One condition of the if/else-if chain.
@@ -436,6 +452,7 @@ mod tests {
                     map: dist,
                     at: Place::GenTrg,
                     reads: vec![Slot(1), Slot(2)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],

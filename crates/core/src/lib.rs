@@ -34,10 +34,12 @@ pub mod ir;
 pub mod pattern;
 pub mod plan;
 pub mod strategies;
+pub mod verify;
 pub mod viz;
 
-pub use builder::ActionBuilder;
+pub use builder::{ActionBuilder, BuildError};
 pub use engine::{ActionId, EngineConfig, PatternEngine, SyncMode, Val};
-pub use ir::{GenItem, GeneratorIr, MapId, Place, PropertyKind, Slot};
+pub use ir::{GenItem, GeneratorIr, MapId, ModKind, Place, PropertyKind, Slot};
 pub use pattern::{Pattern, PatternBuilder};
 pub use plan::{CommPlan, ExecPlan, PlanMode};
+pub use verify::{DiagCode, Diagnostic, Report, Severity};

@@ -66,8 +66,10 @@ use crate::builder::BuiltAction;
 use crate::engine::{ActionId, EngineConfig, PatternEngine, ValCodec};
 use crate::ir::MapId;
 
-type PropInstaller =
-    Box<dyn FnOnce(&AmCtx, &PatternEngine, Option<&EdgeList>) -> Box<dyn Any + Send> + Send>;
+type PropInstaller = Box<
+    dyn FnOnce(&AmCtx, &PatternEngine, Option<&EdgeList>) -> Result<Box<dyn Any + Send>, String>
+        + Send,
+>;
 
 struct PropSpec {
     name: String,
@@ -108,7 +110,7 @@ impl PatternBuilder {
                 let map = ctx.share(|| AtomicVertexMap::new(engine.graph().distribution(), init));
                 let got = engine.register_vertex_map(&map);
                 assert_eq!(got, id, "properties register in declaration order");
-                Box::new(map)
+                Ok(Box::new(map))
             }),
         });
         id
@@ -125,7 +127,7 @@ impl PatternBuilder {
                     ctx.share(|| LockedVertexMap::new(engine.graph().distribution(), Vec::new()));
                 let got = engine.register_set_map(&map);
                 assert_eq!(got, id, "properties register in declaration order");
-                Box::new(map)
+                Ok(Box::new(map))
             }),
         });
         id
@@ -138,11 +140,13 @@ impl PatternBuilder {
         self.props.push(PropSpec {
             name: name.into(),
             install: Box::new(move |ctx, engine, el| {
-                let el = el.expect("edge_weights requires the edge list at install");
+                let el = el.ok_or(
+                    "edge_weights requires the edge list to be passed at install".to_string(),
+                )?;
                 let map = ctx.share(|| EdgeMap::from_weights(engine.graph(), el));
                 let got = engine.register_edge_map(&map);
                 assert_eq!(got, id, "properties register in declaration order");
-                Box::new(map)
+                Ok(Box::new(map))
             }),
         });
         id
@@ -166,7 +170,7 @@ impl PatternBuilder {
         let engine = PatternEngine::new(ctx, graph.clone(), cfg);
         let mut maps = HashMap::new();
         for spec in self.props {
-            let handle = (spec.install)(ctx, &engine, el);
+            let handle = (spec.install)(ctx, &engine, el)?;
             if maps.insert(spec.name.clone(), handle).is_some() {
                 return Err(format!(
                     "pattern {:?}: duplicate property {:?}",

@@ -459,6 +459,17 @@ impl<'a> Compiler<'a> {
                 }
             }
         }
+        // A pointer-indirected modification target is resolved *from the
+        // payload* when the plan hops there: every resolution read along
+        // each group target's `MapAt` chain must ride in the payload even
+        // when no condition consults it.
+        for (at, _) in &groups {
+            for (rs, _) in self.resolution_chain(at)? {
+                if !need.contains(&rs) {
+                    need.push(rs);
+                }
+            }
+        }
         let missing: Vec<usize> = need
             .iter()
             .copied()
@@ -662,83 +673,15 @@ impl<'a> Compiler<'a> {
 
 /// Verify a compiled plan against its action: along *every* control-flow
 /// path, no condition test or modification reads a payload slot before
-/// some earlier step gathered it. Runs automatically (debug builds) at
-/// the end of [`compile`]; also used directly by the property-test suite.
+/// some earlier step gathered it, and every read and write executes at
+/// its Def. 1 locality. Delegates to the plan walk of [`crate::verify`]
+/// (`D002` + `L001`). Runs automatically (debug builds) at the end of
+/// [`compile`]; also used directly by the property-test suite.
 pub fn verify(ir: &ActionIr, plan: &ExecPlan) -> Result<(), String> {
-    let mut stack = vec![(0usize, HashSet::<usize>::new())];
-    let mut seen = HashSet::<(usize, Vec<usize>)>::new();
-    while let Some((pc, mut filled)) = stack.pop() {
-        let mut key: Vec<usize> = filled.iter().copied().collect();
-        key.sort_unstable();
-        if !seen.insert((pc, key)) {
-            continue;
-        }
-        let demand = |filled: &HashSet<usize>, slots: &[Slot], what: &str| -> Result<(), String> {
-            for &Slot(s) in slots {
-                if !filled.contains(&s) {
-                    return Err(format!(
-                        "{what} reads slot {s} before any path gathered it\n{plan}"
-                    ));
-                }
-            }
-            Ok(())
-        };
-        match &plan.steps[pc] {
-            ExecStep::Goto { next, .. } => stack.push((*next, filled)),
-            ExecStep::Gather { slots, next } => {
-                filled.extend(slots.iter().copied());
-                stack.push((*next, filled));
-            }
-            ExecStep::Eval {
-                cond,
-                local_slots,
-                on_true,
-                on_false,
-            } => {
-                filled.extend(local_slots.iter().copied());
-                demand(&filled, &ir.conditions[*cond].reads, "condition test")?;
-                stack.push((*on_true, filled.clone()));
-                stack.push((*on_false, filled));
-            }
-            ExecStep::EvalModify {
-                cond,
-                local_slots,
-                mods,
-                on_true,
-                on_false,
-            } => {
-                filled.extend(local_slots.iter().copied());
-                demand(&filled, &ir.conditions[*cond].reads, "condition test")?;
-                for &mi in mods {
-                    demand(
-                        &filled,
-                        &ir.conditions[*cond].mods[mi].reads,
-                        "merged modification",
-                    )?;
-                }
-                stack.push((*on_true, filled.clone()));
-                stack.push((*on_false, filled));
-            }
-            ExecStep::ModifyGroup {
-                cond,
-                local_slots,
-                mods,
-                next,
-            } => {
-                filled.extend(local_slots.iter().copied());
-                for &mi in mods {
-                    demand(
-                        &filled,
-                        &ir.conditions[*cond].mods[mi].reads,
-                        "modification group",
-                    )?;
-                }
-                stack.push((*next, filled));
-            }
-            ExecStep::End => {}
-        }
+    match crate::verify::check_plan(ir, plan) {
+        Some(d) => Err(format!("{d}\n{plan}")),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 impl ExecPlan {
@@ -847,7 +790,7 @@ impl std::fmt::Display for CommPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{ConditionIr, GeneratorIr, MapId, ModificationIr};
+    use crate::ir::{ConditionIr, GeneratorIr, MapId, ModKind, ModificationIr};
 
     const DIST: MapId = 0;
     const WEIGHT: MapId = 1;
@@ -873,6 +816,7 @@ mod tests {
                     map: DIST,
                     at: Place::GenTrg,
                     reads: vec![Slot(1), Slot(2)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],
@@ -954,6 +898,7 @@ mod tests {
                     map: val,
                     at: n5,
                     reads: vec![Slot(1)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],
@@ -1012,6 +957,7 @@ mod tests {
                         map: 1,
                         at: Place::Input,
                         reads: vec![],
+                        kind: ModKind::Assign,
                     }],
                     is_else: false,
                 },
@@ -1021,6 +967,7 @@ mod tests {
                         map: 2,
                         at: Place::Input,
                         reads: vec![],
+                        kind: ModKind::Assign,
                     }],
                     is_else: true,
                 },
@@ -1062,6 +1009,7 @@ mod tests {
                         map: 1,
                         at: Place::Input,
                         reads: vec![Slot(0)],
+                        kind: ModKind::Assign,
                     }],
                     is_else: false,
                 },
@@ -1071,6 +1019,7 @@ mod tests {
                         map: 2,
                         at: Place::Input,
                         reads: vec![Slot(0)],
+                        kind: ModKind::Assign,
                     }],
                     is_else: false,
                 },
@@ -1103,6 +1052,7 @@ mod tests {
                     map: 0,
                     at: Place::Input,
                     reads: vec![Slot(0)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],

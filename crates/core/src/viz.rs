@@ -1,10 +1,12 @@
 //! Graphviz (DOT) rendering of the analysis artifacts: dependency trees
-//! (Def. 2 / Fig. 5) and compiled message programs. Purely textual — pipe
-//! the output into `dot -Tsvg` to regenerate the paper's figures.
+//! (Def. 2 / Fig. 5) and compiled message programs, with optional overlay
+//! of the static verifier's findings ([`crate::verify`]). Purely textual —
+//! pipe the output into `dot -Tsvg` to regenerate the paper's figures.
 
 use crate::depgraph::DepTree;
 use crate::ir::Place;
 use crate::plan::{ExecPlan, ExecStep};
+use crate::verify::{Diagnostic, Severity};
 
 fn place_label(p: &Place) -> String {
     match p {
@@ -28,8 +30,17 @@ impl DepTree {
             } else {
                 "circle"
             };
+            // Annotate each stop with its Def. 1 locality facts: where the
+            // place's identity becomes known, and whether a gather is
+            // required there.
+            let known = place_label(&p.known_at());
+            let req = if self.required[i] {
+                "required"
+            } else {
+                "pass-through"
+            };
             out.push_str(&format!(
-                "  n{i} [label=\"{}\", shape={shape}];\n",
+                "  n{i} [label=\"{}\\nknown at {known} · {req}\", shape={shape}];\n",
                 place_label(p)
             ));
         }
@@ -57,6 +68,20 @@ impl ExecPlan {
     /// control flow (labelled T/F at branches), and `goto` boxes name the
     /// locality the message travels to.
     pub fn to_dot(&self) -> String {
+        self.to_dot_annotated(&[])
+    }
+
+    /// [`to_dot`](Self::to_dot), with the verifier's findings overlaid:
+    /// a step anchoring an error-severity diagnostic is filled red, a
+    /// warning-severity one orange, and the finding's code joins the box
+    /// label. Pass [`crate::verify::verify_action`]'s output.
+    pub fn to_dot_annotated(&self, diagnostics: &[Diagnostic]) -> String {
+        let worst_at = |i: usize| -> Option<&Diagnostic> {
+            diagnostics
+                .iter()
+                .filter(|d| d.step == Some(i))
+                .max_by_key(|d| d.severity)
+        };
         let mut out = String::from("digraph plan {\n  node [shape=box, fontname=monospace];\n");
         for (i, s) in self.steps.iter().enumerate() {
             let (label, edges): (String, Vec<(usize, &str)>) = match s {
@@ -91,7 +116,20 @@ impl ExecPlan {
                 } => (format!("modify c{cond} {mods:?}"), vec![(*next, "")]),
                 ExecStep::End => ("end".into(), vec![]),
             };
-            out.push_str(&format!("  s{i} [label=\"{i}: {label}\"];\n"));
+            match worst_at(i) {
+                Some(d) => {
+                    let fill = match d.severity {
+                        Severity::Error => "\"#ffb3b3\"",
+                        Severity::Warning => "\"#ffd9a0\"",
+                    };
+                    out.push_str(&format!(
+                        "  s{i} [label=\"{i}: {label}\\n{} {}\", style=filled, fillcolor={fill}];\n",
+                        d.code.as_str(),
+                        d.code.title()
+                    ));
+                }
+                None => out.push_str(&format!("  s{i} [label=\"{i}: {label}\"];\n")),
+            }
             for (t, lbl) in edges {
                 if lbl.is_empty() {
                     out.push_str(&format!("  s{i} -> s{t};\n"));
@@ -108,7 +146,7 @@ impl ExecPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::{ActionIr, ConditionIr, GeneratorIr, ModificationIr, ReadRef, Slot};
+    use crate::ir::{ActionIr, ConditionIr, GeneratorIr, ModKind, ModificationIr, ReadRef, Slot};
     use crate::plan::{compile, PlanMode};
 
     #[test]
@@ -145,6 +183,7 @@ mod tests {
                     map: 0,
                     at: Place::GenTrg,
                     reads: vec![Slot(1)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],
@@ -155,5 +194,62 @@ mod tests {
         assert!(dot.contains("eval+modify"));
         assert!(dot.contains("label=\"T\""));
         assert!(dot.contains("goto trg(e)"));
+    }
+
+    #[test]
+    fn deptree_dot_names_known_at_localities() {
+        let a = Place::map_at(0, Place::Input);
+        let t = DepTree::build(&[a, Place::GenTrg]);
+        let dot = t.to_dot();
+        assert!(dot.contains("known at v"), "{dot}");
+        assert!(
+            dot.contains("required") || dot.contains("pass-through"),
+            "{dot}"
+        );
+    }
+
+    #[test]
+    fn annotated_plan_dot_colors_findings() {
+        let ir = ActionIr {
+            name: "x".into(),
+            generator: GeneratorIr::OutEdges,
+            slots: vec![
+                ReadRef::VertexProp {
+                    map: 0,
+                    at: Place::GenTrg,
+                },
+                ReadRef::VertexProp {
+                    map: 0,
+                    at: Place::Input,
+                },
+            ],
+            conditions: vec![ConditionIr {
+                reads: vec![Slot(0), Slot(1)],
+                mods: vec![ModificationIr {
+                    map: 0,
+                    at: Place::GenTrg,
+                    reads: vec![Slot(1)],
+                    kind: ModKind::Assign,
+                }],
+                is_else: false,
+            }],
+        };
+        let mut plan = compile(&ir, PlanMode::Optimized).unwrap();
+        // Clean plan: the annotated render matches the plain one.
+        let diags = crate::verify::verify_action(&ir, &plan);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(plan.to_dot_annotated(&diags), plan.to_dot());
+        // Tamper a gather so L001 fires, and the step turns red.
+        for step in &mut plan.steps {
+            if let ExecStep::Gather { slots, .. } = step {
+                slots.push(0); // dist[trg(e)] gathered at v
+                break;
+            }
+        }
+        let diags = crate::verify::verify_action(&ir, &plan);
+        assert!(!diags.is_empty());
+        let dot = plan.to_dot_annotated(&diags);
+        assert!(dot.contains("fillcolor=\"#ffb3b3\""), "{dot}");
+        assert!(dot.contains("L001 NonLocalRead"), "{dot}");
     }
 }

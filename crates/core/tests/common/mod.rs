@@ -1,0 +1,225 @@
+//! Shared random-pattern generators for the property suites.
+//!
+//! Two tiers:
+//!
+//! * [`arb_action`] — *arbitrary IR*: random [`ActionIr`] values used to
+//!   probe the planner and verifier over the full IR space, including
+//!   shapes that fail to validate or compile (those must fail cleanly).
+//! * [`arb_runtime_spec`] — *runtime-safe specs*: random [`ActionSpec`]s
+//!   built through [`ActionBuilder`] with real closures, restricted to
+//!   shapes a [`PatternEngine`](dgp_core::engine::PatternEngine) can
+//!   actually execute on a small graph (u64 value maps, one
+//!   vertex-valued pointer map, no edge-property reads). These drive the
+//!   differential test: statically-clean specs must never trip the
+//!   engine's dynamic locality cross-validator.
+
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+
+use dgp_core::builder::{ActionBuilder, BuildError, BuiltAction};
+use dgp_core::engine::Val;
+use dgp_core::ir::{
+    ActionIr, ConditionIr, GeneratorIr, MapId, ModKind, ModificationIr, Place, ReadRef, Slot,
+};
+
+/// All places a generator makes legal.
+pub fn legal_places(generator: GeneratorIr, pointer_maps: &[MapId]) -> Vec<Place> {
+    let mut base = vec![Place::Input];
+    match generator {
+        GeneratorIr::OutEdges | GeneratorIr::InEdges | GeneratorIr::OutEdgesFiltered { .. } => {
+            base.push(Place::GenSrc);
+            base.push(Place::GenTrg);
+        }
+        GeneratorIr::Adj | GeneratorIr::MapSet(_) => base.push(Place::GenVertex),
+        GeneratorIr::None => {}
+    }
+    // One level of pointer indirection through each pointer map.
+    let mut out = base.clone();
+    for &m in pointer_maps {
+        for b in &base {
+            out.push(Place::map_at(m, b.clone()));
+        }
+    }
+    out
+}
+
+/// Arbitrary (not necessarily executable) action IR. Maps 0..3 are value
+/// maps, map 5 is a write-only output map, maps 10..12 are vertex-valued
+/// pointer maps.
+pub fn arb_action() -> impl Strategy<Value = ActionIr> {
+    let generators = prop::sample::select(vec![
+        GeneratorIr::None,
+        GeneratorIr::OutEdges,
+        GeneratorIr::InEdges,
+        GeneratorIr::Adj,
+    ]);
+    (
+        generators,
+        proptest::collection::vec((0u32..3, 0usize..8), 1..4), // conditions: (value map, place pick)
+        proptest::collection::vec(any::<bool>(), 0..3),        // else flags for conditions 1..
+        0usize..3,                                             // pointer maps used
+    )
+        .prop_map(|(generator, cond_specs, elses, n_pointers)| {
+            let pointer_maps: Vec<MapId> = (0..n_pointers as u32).map(|i| 10 + i).collect();
+            let places = legal_places(generator, &pointer_maps);
+
+            let mut slots: Vec<ReadRef> = Vec::new();
+            let intern = |r: ReadRef, slots: &mut Vec<ReadRef>| -> Slot {
+                if let Some(i) = slots.iter().position(|s| *s == r) {
+                    Slot(i)
+                } else {
+                    slots.push(r);
+                    Slot(slots.len() - 1)
+                }
+            };
+            // Pointer-resolution reads must be declared for any MapAt place.
+            let declare_resolution = |p: &Place, slots: &mut Vec<ReadRef>| {
+                if let Place::MapAt(m, inner) = p {
+                    intern(
+                        ReadRef::VertexProp {
+                            map: *m,
+                            at: (**inner).clone(),
+                        },
+                        slots,
+                    );
+                }
+            };
+
+            let mut conditions = Vec::new();
+            for (ci, &(vmap, pick)) in cond_specs.iter().enumerate() {
+                let read_place = places[pick % places.len()].clone();
+                declare_resolution(&read_place, &mut slots);
+                let read_slot = intern(
+                    ReadRef::VertexProp {
+                        map: vmap,
+                        at: read_place,
+                    },
+                    &mut slots,
+                );
+                let mod_place = places[(pick + ci) % places.len()].clone();
+                declare_resolution(&mod_place, &mut slots);
+                // Cap total slots at the engine budget.
+                if slots.len() > 7 {
+                    slots.truncate(7);
+                }
+                let is_else = ci > 0 && elses.get(ci - 1).copied().unwrap_or(false);
+                conditions.push(ConditionIr {
+                    reads: vec![Slot(read_slot.0.min(slots.len() - 1))],
+                    mods: vec![ModificationIr {
+                        map: 5, // a write-only output map
+                        at: mod_place,
+                        reads: vec![Slot(read_slot.0.min(slots.len() - 1))],
+                        kind: ModKind::Assign,
+                    }],
+                    is_else,
+                });
+            }
+            ActionIr {
+                name: "random".into(),
+                generator,
+                slots,
+                conditions,
+            }
+        })
+        .prop_filter("action must validate", |ir| ir.validate().is_ok())
+}
+
+/// How many u64 value maps a runtime spec may touch (map ids `0..4`).
+pub const RUNTIME_VALUE_MAPS: u32 = 4;
+/// The vertex-valued pointer map's id in a runtime spec (registered
+/// fifth, initialized to valid vertex ids, never written).
+pub const RUNTIME_POINTER_MAP: u32 = 4;
+
+/// One condition of a runtime-safe spec.
+#[derive(Debug, Clone)]
+pub struct CondSpec {
+    /// Value map the condition reads (`0..=RUNTIME_POINTER_MAP`).
+    pub read_map: MapId,
+    /// Where it reads it.
+    pub read_at: Place,
+    /// Value map the modification assigns (`0..RUNTIME_VALUE_MAPS` —
+    /// never the pointer map, so pointer localities stay valid).
+    pub write_map: MapId,
+    /// Where it writes it.
+    pub write_at: Place,
+    /// Chain as `else if` of the previous condition.
+    pub is_else: bool,
+}
+
+/// A runtime-safe action spec: everything needed to build an executable
+/// action through [`ActionBuilder`] — and to shrink/debug it, since the
+/// spec (unlike a [`BuiltAction`]) is `Debug + Clone`.
+#[derive(Debug, Clone)]
+pub struct ActionSpec {
+    /// The generator.
+    pub generator: GeneratorIr,
+    /// The condition chain (at least one).
+    pub conds: Vec<CondSpec>,
+}
+
+/// Build the spec through the real builder, running the full static
+/// verifier. `Err` means the verifier rejected it (a legitimate outcome
+/// for random specs — e.g. an unmerged stale guard).
+pub fn build_spec(spec: &ActionSpec) -> Result<BuiltAction, BuildError> {
+    let mut b = ActionBuilder::new("random_runtime", spec.generator);
+    let declare_resolution = |b: &mut ActionBuilder, p: &Place| {
+        if let Place::MapAt(m, inner) = p {
+            b.read_vertex(*m, (**inner).clone());
+        }
+    };
+    for (i, c) in spec.conds.iter().enumerate() {
+        declare_resolution(&mut b, &c.read_at);
+        declare_resolution(&mut b, &c.write_at);
+        let s = b.read_vertex(c.read_map, c.read_at.clone());
+        let cb = if c.is_else && i > 0 {
+            b.else_cond(&[s], move |e| e.u64(s) < u64::MAX)
+        } else {
+            b.cond(&[s], move |e| e.u64(s) < u64::MAX)
+        };
+        cb.assign(c.write_map, c.write_at.clone(), &[s], move |e, old| {
+            Val::U(old.as_u64().max(e.u64(s)).wrapping_add(1))
+        });
+    }
+    b.build()
+}
+
+/// Runtime-safe specs: generators the small test graph supports, places
+/// legal for the generator (with at most one level of indirection
+/// through the pointer map), reads over all five maps, writes over the
+/// four value maps only.
+pub fn arb_runtime_spec() -> impl Strategy<Value = ActionSpec> {
+    let generators = prop::sample::select(vec![
+        GeneratorIr::None,
+        GeneratorIr::OutEdges,
+        GeneratorIr::InEdges,
+        GeneratorIr::Adj,
+    ]);
+    (
+        generators,
+        proptest::collection::vec(
+            (
+                0..=RUNTIME_POINTER_MAP, // read map
+                0usize..16,              // read place pick
+                0..RUNTIME_VALUE_MAPS,   // write map
+                0usize..16,              // write place pick
+                any::<bool>(),           // else flag
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(generator, conds)| {
+            let places = legal_places(generator, &[RUNTIME_POINTER_MAP]);
+            let conds = conds
+                .into_iter()
+                .map(|(read_map, rp, write_map, wp, is_else)| CondSpec {
+                    read_map,
+                    read_at: places[rp % places.len()].clone(),
+                    write_map,
+                    write_at: places[wp % places.len()].clone(),
+                    is_else,
+                })
+                .collect();
+            ActionSpec { generator, conds }
+        })
+}

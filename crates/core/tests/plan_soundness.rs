@@ -5,109 +5,10 @@
 
 use proptest::prelude::*;
 
-use dgp_core::ir::{
-    ActionIr, ConditionIr, GeneratorIr, MapId, ModificationIr, Place, ReadRef, Slot,
-};
 use dgp_core::plan::{compile, verify, PlanMode};
 
-/// All places a generator makes legal.
-fn legal_places(generator: GeneratorIr, pointer_maps: &[MapId]) -> Vec<Place> {
-    let mut base = vec![Place::Input];
-    match generator {
-        GeneratorIr::OutEdges | GeneratorIr::InEdges | GeneratorIr::OutEdgesFiltered { .. } => {
-            base.push(Place::GenSrc);
-            base.push(Place::GenTrg);
-        }
-        GeneratorIr::Adj | GeneratorIr::MapSet(_) => base.push(Place::GenVertex),
-        GeneratorIr::None => {}
-    }
-    // One level of pointer indirection through each pointer map.
-    let mut out = base.clone();
-    for &m in pointer_maps {
-        for b in &base {
-            out.push(Place::map_at(m, b.clone()));
-        }
-    }
-    out
-}
-
-fn arb_action() -> impl Strategy<Value = ActionIr> {
-    // Maps 0..3 are value maps; maps 10..12 are vertex-valued pointer maps.
-    let generators = prop::sample::select(vec![
-        GeneratorIr::None,
-        GeneratorIr::OutEdges,
-        GeneratorIr::InEdges,
-        GeneratorIr::Adj,
-    ]);
-    (
-        generators,
-        proptest::collection::vec((0u32..3, 0usize..8), 1..4), // conditions: (value map, place pick)
-        proptest::collection::vec(any::<bool>(), 0..3),        // else flags for conditions 1..
-        0usize..3,                                             // pointer maps used
-    )
-        .prop_map(|(generator, cond_specs, elses, n_pointers)| {
-            let pointer_maps: Vec<MapId> = (0..n_pointers as u32).map(|i| 10 + i).collect();
-            let places = legal_places(generator, &pointer_maps);
-
-            let mut slots: Vec<ReadRef> = Vec::new();
-            let intern = |r: ReadRef, slots: &mut Vec<ReadRef>| -> Slot {
-                if let Some(i) = slots.iter().position(|s| *s == r) {
-                    Slot(i)
-                } else {
-                    slots.push(r);
-                    Slot(slots.len() - 1)
-                }
-            };
-            // Pointer-resolution reads must be declared for any MapAt place.
-            let declare_resolution = |p: &Place, slots: &mut Vec<ReadRef>| {
-                if let Place::MapAt(m, inner) = p {
-                    intern(
-                        ReadRef::VertexProp {
-                            map: *m,
-                            at: (**inner).clone(),
-                        },
-                        slots,
-                    );
-                }
-            };
-
-            let mut conditions = Vec::new();
-            for (ci, &(vmap, pick)) in cond_specs.iter().enumerate() {
-                let read_place = places[pick % places.len()].clone();
-                declare_resolution(&read_place, &mut slots);
-                let read_slot = intern(
-                    ReadRef::VertexProp {
-                        map: vmap,
-                        at: read_place,
-                    },
-                    &mut slots,
-                );
-                let mod_place = places[(pick + ci) % places.len()].clone();
-                declare_resolution(&mod_place, &mut slots);
-                // Cap total slots at the engine budget.
-                if slots.len() > 7 {
-                    slots.truncate(7);
-                }
-                let is_else = ci > 0 && elses.get(ci - 1).copied().unwrap_or(false);
-                conditions.push(ConditionIr {
-                    reads: vec![Slot(read_slot.0.min(slots.len() - 1))],
-                    mods: vec![ModificationIr {
-                        map: 5, // a write-only output map
-                        at: mod_place,
-                        reads: vec![Slot(read_slot.0.min(slots.len() - 1))],
-                    }],
-                    is_else,
-                });
-            }
-            ActionIr {
-                name: "random".into(),
-                generator,
-                slots,
-                conditions,
-            }
-        })
-        .prop_filter("action must validate", |ir| ir.validate().is_ok())
-}
+mod common;
+use common::arb_action;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

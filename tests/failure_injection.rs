@@ -164,9 +164,17 @@ fn too_many_slots_rejected() {
         let s0 = slots[0];
         b.cond(&slots, move |e| e.u64(s0) == 0)
             .assign(0, Place::Input, &[], |_, _| Val::U(1));
-        let built = b.build().unwrap();
-        let err = engine.add_action(built).unwrap_err();
-        assert!(err.contains("at most"), "{err}");
+        // The static verifier rejects this at build time now, before the
+        // engine ever sees it.
+        let err = b.build().unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == dgp_core::DiagCode::S005),
+            "{err}"
+        );
+        assert!(err.to_string().contains("at most"), "{err}");
+        drop(engine);
     });
 }
 
@@ -183,9 +191,16 @@ fn undeclared_resolution_read_rejected() {
         let s = b.read_vertex(1, Place::map_at(0, Place::Input));
         b.cond(&[s], move |e| e.u64(s) == 0)
             .assign(1, Place::Input, &[], |_, _| Val::U(1));
-        let built = b.build().unwrap();
-        let err = engine.add_action(built).unwrap_err();
-        assert!(err.contains("declared"), "{err}");
+        // Caught statically at build time with a stable code.
+        let err = b.build().unwrap_err();
+        assert!(
+            err.diagnostics
+                .iter()
+                .any(|d| d.code == dgp_core::DiagCode::P006),
+            "{err}"
+        );
+        assert!(err.to_string().contains("declared"), "{err}");
+        drop(engine);
     });
 }
 

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use dgp::prelude::*;
 use dgp_core::depgraph::DepTree;
-use dgp_core::ir::{ActionIr, ConditionIr, GeneratorIr, ModificationIr, ReadRef, Slot};
+use dgp_core::ir::{ActionIr, ConditionIr, GeneratorIr, ModKind, ModificationIr, ReadRef, Slot};
 use dgp_core::plan::compile;
 
 proptest! {
@@ -150,6 +150,7 @@ proptest! {
                     map: 99,
                     at: Place::GenTrg,
                     reads: vec![Slot(0)],
+                    kind: ModKind::Assign,
                 }],
                 is_else: false,
             }],
