@@ -20,7 +20,6 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::machine::{AmCtx, MessageType, RankId};
-use crate::stats::MachineStats;
 
 struct DestCache<T> {
     slots: Vec<Option<T>>,
@@ -88,10 +87,10 @@ impl<T: Hash + Eq + Clone + Send + 'static> CachingSender<T> {
     pub fn send(&self, ctx: &AmCtx, dest: RankId, msg: T) -> bool {
         let dup = self.caches[dest].lock().check_and_insert(&msg);
         if dup {
-            MachineStats::bump(&ctx.stats_handle().cache_hits, 1);
+            ctx.note_cache_hit();
             false
         } else {
-            MachineStats::bump(&ctx.stats_handle().cache_misses, 1);
+            ctx.note_cache_miss();
             self.inner.send(ctx, dest, msg);
             true
         }

@@ -10,22 +10,33 @@
 //! Buffers are thread-local (each [`crate::AmCtx`] owns its own), so the
 //! send fast path takes no locks. Threads flush their own buffers whenever
 //! they go idle, and epoch termination cannot be declared while any buffer
-//! holds messages (buffered messages are already counted in `sent` but not
-//! yet in `handled`).
+//! holds messages (buffered messages are already counted in `sent` — the
+//! sender's counter deltas are published before any envelope ships — but
+//! not yet in `handled`).
+//!
+//! Batch allocations are pooled: the handler loop returns each drained
+//! `Box<Vec<T>>` to the receiving thread's [`TypedBuffers`] free list, and
+//! [`TypedBuffers::flush_dest`] reuses a spare instead of allocating, so a
+//! steady message flow ships envelopes with zero allocation on the hot
+//! path (self-sends recycle perfectly; one-directional flows fall back to
+//! allocating on the sender and dropping on the receiver once the
+//! receiver's free list is full).
 
 use std::any::Any;
 
 use crate::machine::{deliver, Envelope, RankId, Shared};
 
+/// Most spare batch boxes a [`TypedBuffers`] retains; beyond this,
+/// recycled boxes are dropped (bounds memory on asymmetric flows).
+const MAX_SPARES: usize = 16;
+
 /// Type-erased per-type coalescing buffers, one slot per destination rank.
 pub(crate) trait ErasedBuffers: Any {
     /// Ship every non-empty destination buffer. Returns envelopes shipped.
     fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize;
-    /// True when no destination holds pending messages.
-    #[allow(dead_code)]
-    fn is_empty(&self) -> bool;
-    /// Total pending messages across destinations.
-    #[allow(dead_code)]
+    /// Total pending messages across destinations. The idle/termination
+    /// paths assert this is zero before a thread declares itself idle
+    /// (see `AmCtx::buffered_pending`).
     fn pending(&self) -> usize;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -46,6 +57,13 @@ pub(crate) struct TypedBuffers<T: Clone + Send + 'static> {
     type_id: u32,
     capacity: usize,
     per_dest: Vec<Vec<T>>,
+    /// Drained batch boxes recycled by the handler loop, reused by the
+    /// next flush so steady state ships envelopes without allocating.
+    /// The box is not gratuitous: envelope payloads cross a
+    /// `Box<dyn Any + Send>` boundary, so pooling the box node itself
+    /// (not just the `Vec` storage) is what makes a flush allocation-free.
+    #[allow(clippy::vec_box)]
+    spares: Vec<Box<Vec<T>>>,
 }
 
 impl<T: Clone + Send + 'static> TypedBuffers<T> {
@@ -54,22 +72,46 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
             type_id,
             capacity,
             per_dest: (0..ranks).map(|_| Vec::new()).collect(),
+            spares: Vec::new(),
         }
     }
 
     /// Buffer one message; ship the destination's batch if it reached
-    /// capacity. Returns whether an envelope was shipped.
-    pub(crate) fn push(&mut self, shared: &Shared, from: RankId, dest: RankId, msg: T) -> bool {
+    /// capacity, invoking `pre_ship` first (the runtime publishes its
+    /// pending counter deltas there, so every message in the envelope is
+    /// counted in `sent` before it becomes receivable). Returns whether
+    /// an envelope was shipped.
+    pub(crate) fn push(
+        &mut self,
+        shared: &Shared,
+        from: RankId,
+        dest: RankId,
+        msg: T,
+        pre_ship: impl FnOnce(),
+    ) -> bool {
         let buf = &mut self.per_dest[dest];
         if buf.capacity() == 0 {
             buf.reserve_exact(self.capacity);
         }
         buf.push(msg);
         if buf.len() >= self.capacity {
+            pre_ship();
             self.flush_dest(shared, from, dest);
             true
         } else {
             false
+        }
+    }
+
+    /// Accept a drained batch box back from the handler loop. Keeps at
+    /// most [`MAX_SPARES`]; beyond that the box is dropped. Takes the
+    /// box, not the `Vec`, because that is exactly what the envelope's
+    /// `Box<dyn Any + Send>` payload downcasts to.
+    #[allow(clippy::box_collection)]
+    pub(crate) fn recycle(&mut self, batch: Box<Vec<T>>) {
+        debug_assert!(batch.is_empty());
+        if self.spares.len() < MAX_SPARES && batch.capacity() > 0 {
+            self.spares.push(batch);
         }
     }
 
@@ -78,7 +120,17 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
         if buf.is_empty() {
             return;
         }
-        let batch = std::mem::take(buf);
+        // Reuse a recycled batch box when one is available: the swap hands
+        // the full buffer to the envelope and leaves the spare's reserved
+        // capacity behind for the next push — no allocation either way
+        // round once the pool is primed.
+        let batch: Box<Vec<T>> = match self.spares.pop() {
+            Some(mut spare) => {
+                std::mem::swap(&mut *spare, buf);
+                spare
+            }
+            None => Box::new(std::mem::take(buf)),
+        };
         let count = batch.len() as u32;
         deliver(
             shared,
@@ -87,7 +139,7 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
             Envelope {
                 type_id: self.type_id,
                 count,
-                payload: Box::new(batch),
+                payload: batch,
                 clone_payload: clone_payload::<T>,
             },
         );
@@ -104,10 +156,6 @@ impl<T: Clone + Send + 'static> ErasedBuffers for TypedBuffers<T> {
             }
         }
         shipped
-    }
-
-    fn is_empty(&self) -> bool {
-        self.per_dest.iter().all(|b| b.is_empty())
     }
 
     fn pending(&self) -> usize {

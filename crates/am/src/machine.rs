@@ -5,9 +5,11 @@
 //! here:
 //!
 //! * every logical message increments its sender rank's `sent` counter
-//!   *before* it becomes receivable (it enters a coalescing buffer first),
-//!   and the handling rank's `handled` counter after its handler returns —
-//!   the basis of termination detection (see [`crate::termination`]);
+//!   *before* it becomes receivable (it enters a coalescing buffer first,
+//!   and the thread-local counter delta it was tallied into is published
+//!   before the buffer ships), and the handling rank's `handled` counter
+//!   after its handler returns — the basis of termination detection (see
+//!   [`crate::termination`] and INTERNALS.md §9);
 //! * user code only ever holds an [`AmCtx`] for its own rank/thread, and all
 //!   cross-rank effects go through messages;
 //! * handlers may send arbitrary messages, including to their own rank.
@@ -15,7 +17,10 @@
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64, AtomicUsize,
+    Ordering::{Relaxed, SeqCst},
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -123,9 +128,77 @@ pub(crate) struct RankShared {
     ack_rx: Receiver<Ack>,
     handlers: RwLock<Vec<Arc<ErasedHandler>>>,
     flushables: RwLock<Vec<Arc<dyn Flushable>>>,
+    /// Length of `flushables`, readable without the lock: threads compare
+    /// it against their frozen snapshot to detect staleness (registration
+    /// is append-only, so length is a version number).
+    flushables_len: AtomicUsize,
     sent: AtomicU64,
     handled: AtomicU64,
     idle: AtomicBool,
+}
+
+/// Per-thread counter deltas accumulated on the send/dispatch hot path
+/// and published to the shared atomics at envelope boundaries (see
+/// [`AmCtx::publish_deltas`] for the flush points and the ordering
+/// discipline). Cell-based and unsynchronized: an [`AmCtx`] is `!Sync`,
+/// so each instance is only ever touched by its own thread.
+#[derive(Default)]
+struct PendingDeltas {
+    /// Fast-path guard: set whenever any delta below is nonzero.
+    dirty: Cell<bool>,
+    /// Messages accepted for sending, not yet in the rank's `sent`.
+    sent: Cell<u64>,
+    /// Messages handled, not yet in the rank's `handled`.
+    handled: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    reduction_combines: Cell<u64>,
+    reduction_forwards: Cell<u64>,
+    /// Per message type `(sent, handled)`, indexed by type id.
+    per_type: RefCell<Vec<(u64, u64)>>,
+}
+
+impl PendingDeltas {
+    #[inline]
+    fn add(cell: &Cell<u64>, n: u64) {
+        cell.set(cell.get() + n);
+    }
+
+    #[inline]
+    fn note_sent(&self, type_id: u32) {
+        Self::add(&self.sent, 1);
+        self.note_type(type_id, 1, 0);
+    }
+
+    #[inline]
+    fn note_handled(&self, type_id: u32, n: u64) {
+        Self::add(&self.handled, n);
+        self.note_type(type_id, 0, n);
+    }
+
+    #[inline]
+    fn note_type(&self, type_id: u32, sent: u64, handled: u64) {
+        let mut pt = self.per_type.borrow_mut();
+        let idx = type_id as usize;
+        if pt.len() <= idx {
+            pt.resize(idx + 1, (0, 0));
+        }
+        pt[idx].0 += sent;
+        pt[idx].1 += handled;
+        self.dirty.set(true);
+    }
+}
+
+/// Immutable snapshots of the registration tables, refreshed from the
+/// `RwLock`-guarded originals at epoch entry (rank main threads) or on a
+/// miss (worker threads) — never on the per-message path. Registration is
+/// append-only with dense ids, so "my snapshot covers this id" is exactly
+/// "my snapshot entry is current".
+#[derive(Default)]
+struct LocalTables {
+    handlers: Arc<[Arc<ErasedHandler>]>,
+    type_stats: Arc<[Arc<TypeStat>]>,
+    flushables: Arc<[Arc<dyn Flushable>]>,
 }
 
 pub(crate) struct Shared {
@@ -180,6 +253,7 @@ impl Shared {
                     ack_rx,
                     handlers: RwLock::new(Vec::new()),
                     flushables: RwLock::new(Vec::new()),
+                    flushables_len: AtomicUsize::new(0),
                     sent: AtomicU64::new(0),
                     handled: AtomicU64::new(0),
                     idle: AtomicBool::new(false),
@@ -431,6 +505,10 @@ pub struct AmCtx {
     rank: RankId,
     thread: usize,
     bufs: RefCell<Vec<Option<Box<dyn ErasedBuffers>>>>,
+    /// Hot-path counter deltas, published at envelope boundaries.
+    deltas: PendingDeltas,
+    /// Frozen dispatch/statistic tables (no locks after the freeze).
+    tables: RefCell<LocalTables>,
     in_epoch: Cell<bool>,
     epochs_entered: Cell<u64>,
     /// When the current epoch's entry barrier cleared on this rank; basis
@@ -628,6 +706,14 @@ fn worker_loop(shared: Arc<Shared>, rank: RankId, thread: usize) {
     }
 }
 
+/// Grow the per-type slot vector. Out of line: the send path only takes
+/// this on worker cold starts and for types registered after the thread's
+/// last epoch entry (rank main threads pre-size at epoch entry).
+#[cold]
+fn grow_slots(bufs: &mut Vec<Option<Box<dyn ErasedBuffers>>>, idx: usize) {
+    bufs.resize_with(idx + 1, || None);
+}
+
 impl AmCtx {
     fn new(shared: Arc<Shared>, rank: RankId, thread: usize) -> Self {
         AmCtx {
@@ -635,6 +721,8 @@ impl AmCtx {
             rank,
             thread,
             bufs: RefCell::new(Vec::new()),
+            deltas: PendingDeltas::default(),
+            tables: RefCell::new(LocalTables::default()),
             in_epoch: Cell::new(false),
             epochs_entered: Cell::new(0),
             epoch_entered_at: Cell::new(None),
@@ -666,10 +754,6 @@ impl AmCtx {
         self.shared.epoch_active.load(SeqCst) > 0
     }
 
-    pub(crate) fn stats_handle(&self) -> &MachineStats {
-        &self.shared.stats
-    }
-
     /// The recorded envelope trace (empty unless tracing was enabled via
     /// the machine config).
     pub fn trace(&self) -> Vec<TraceEvent> {
@@ -681,6 +765,7 @@ impl AmCtx {
 
     /// Per-message-type counters (diagnostics; exact when quiescent).
     pub fn type_stats(&self) -> Vec<TypeStatSnapshot> {
+        self.publish_deltas();
         self.shared
             .type_stats
             .read()
@@ -691,7 +776,21 @@ impl AmCtx {
 
     /// Point-in-time statistics (exact when read outside an epoch).
     pub fn stats(&self) -> StatsSnapshot {
+        self.publish_deltas();
         self.shared.full_snapshot()
+    }
+
+    /// Messages sitting in this thread's coalescing buffers, not yet
+    /// shipped as envelopes. Always already counted in `sent` (the delta
+    /// publish precedes every ship), which is why termination cannot be
+    /// declared while this is nonzero — the counters cannot balance.
+    pub fn buffered_pending(&self) -> usize {
+        self.bufs
+            .borrow()
+            .iter()
+            .flatten()
+            .map(|b| b.pending())
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -766,7 +865,7 @@ impl AmCtx {
     /// Must not be called inside an epoch.
     pub fn register<T, F>(&self, f: F) -> MessageType<T>
     where
-        T: Send + 'static,
+        T: Clone + Send + 'static,
         F: Fn(&HandlerCtx<'_, T>, T) + Send + Sync + 'static,
     {
         self.register_named(std::any::type_name::<T>(), f)
@@ -776,7 +875,7 @@ impl AmCtx {
     /// per-type statistics ([`AmCtx::type_stats`]).
     pub fn register_named<T, F>(&self, name: &str, f: F) -> MessageType<T>
     where
-        T: Send + 'static,
+        T: Clone + Send + 'static,
         F: Fn(&HandlerCtx<'_, T>, T) + Send + Sync + 'static,
     {
         assert!(
@@ -788,50 +887,57 @@ impl AmCtx {
         let id = handlers.len() as u32;
         // Machine-wide per-type counters: the first rank to register this
         // id creates them; the rest attach.
-        let tstat = {
+        {
             let mut ts = self.shared.type_stats.write();
-            if (id as usize) < ts.len() {
-                ts[id as usize].clone()
-            } else {
+            if (id as usize) >= ts.len() {
                 debug_assert_eq!(ts.len(), id as usize, "collective registration order");
-                let t = Arc::new(TypeStat::new(name.to_string()));
-                ts.push(t.clone());
-                t
+                ts.push(Arc::new(TypeStat::new(name.to_string())));
             }
-        };
+        }
         let mt = MessageType {
             id,
             _marker: std::marker::PhantomData,
         };
-        let handler_tstat = tstat;
         let erased: Arc<ErasedHandler> = Arc::new(
             move |ctx: &AmCtx, payload: Box<dyn Any + Send>, count: u32| {
-                let batch = payload
+                let mut batch = payload
                     .downcast::<Vec<T>>()
                     .expect("message type registration order must match across ranks");
                 debug_assert_eq!(batch.len() as u32, count);
                 let hctx = HandlerCtx { am: ctx, mt };
-                let me = &ctx.shared.ranks[ctx.rank];
-                for msg in *batch {
-                    // A starting handler may deposit deferred local work;
-                    // lower the idle flag so try_finish's double scan sees
-                    // it (see crate::termination).
-                    me.idle.store(false, SeqCst);
+                // Once per envelope, not per message: handlers may deposit
+                // deferred local work, and the idle flag must be down
+                // before any of it exists (see crate::termination).
+                // Mid-envelope protection is counter-based — every message
+                // in this batch is already published in `sent`, and the
+                // matching `handled` delta is not published until after
+                // the loop, so the machine totals cannot balance while the
+                // batch is in progress.
+                ctx.shared.ranks[ctx.rank].idle.store(false, SeqCst);
+                for msg in batch.drain(..) {
                     f(&hctx, msg);
-                    me.handled.fetch_add(1, SeqCst);
-                    MachineStats::bump(&ctx.shared.stats.messages_handled, 1);
-                    MachineStats::bump(&handler_tstat.handled, 1);
                 }
+                ctx.deltas.note_handled(mt.id, count as u64);
+                ctx.recycle_batch(mt.id, batch);
             },
         );
         handlers.push(erased);
+        drop(handlers);
+        // Keep the registering thread's frozen tables current so its next
+        // epoch (or publish) needs no staleness round-trip.
+        self.refresh_tables();
         mt
     }
 
     /// Register a message-holding layer (e.g. a reduction table) to be
     /// flushed by the runtime during idle periods and termination detection.
     pub fn register_flushable(&self, fl: Arc<dyn Flushable>) {
-        self.shared.ranks[self.rank].flushables.write().push(fl);
+        let me = &self.shared.ranks[self.rank];
+        let mut fls = me.flushables.write();
+        fls.push(fl);
+        me.flushables_len.store(fls.len(), Relaxed);
+        drop(fls);
+        self.refresh_tables();
     }
 
     // ------------------------------------------------------------------
@@ -854,15 +960,18 @@ impl AmCtx {
             "messages may only be sent inside an epoch"
         );
         assert!(dest < self.num_ranks(), "destination rank out of range");
-        self.shared.ranks[self.rank].sent.fetch_add(1, SeqCst);
-        MachineStats::bump(&self.shared.stats.messages_sent, 1);
-        if let Some(t) = self.shared.type_stats.read().get(mt.id as usize) {
-            MachineStats::bump(&t.sent, 1);
-        }
+        // Hot path: thread-local delta counters only. The shared `sent`
+        // atomic is updated by `publish_deltas` *before* any envelope
+        // ships (the `pre_ship` hook below and `flush_own_buffers`), so
+        // every receivable message is counted before it is receivable.
+        self.deltas.note_sent(mt.id);
         let mut bufs = self.bufs.borrow_mut();
         let idx = mt.id as usize;
         if bufs.len() <= idx {
-            bufs.resize_with(idx + 1, || None);
+            // Cold: worker threads and types registered after this
+            // thread's last epoch entry. Rank main threads pre-size at
+            // epoch entry and never come through here.
+            grow_slots(&mut bufs, idx);
         }
         let cap = self.shared.cfg.coalescing_capacity;
         let nranks = self.shared.cfg.ranks;
@@ -872,7 +981,7 @@ impl AmCtx {
             .as_any_mut()
             .downcast_mut::<TypedBuffers<T>>()
             .expect("message type ids are unique per machine");
-        tb.push(&self.shared, self.rank, dest, msg);
+        tb.push(&self.shared, self.rank, dest, msg, || self.publish_deltas());
     }
 
     // ------------------------------------------------------------------
@@ -953,6 +1062,13 @@ impl AmCtx {
         self.in_epoch.set(true);
         self.epoch_entered_at.set(Some(Instant::now()));
         self.shared.epoch_active.fetch_add(1, SeqCst);
+        // Freeze this thread's dispatch tables and pre-size the hot-path
+        // per-type vectors for every registered type: the epoch body never
+        // takes a registration lock and never grows these on the send path.
+        // (Registration inside epochs is rejected by assert, so the frozen
+        // tables cannot go stale mid-epoch.)
+        self.refresh_tables();
+        self.presize_locals();
         // First rank past the entry barrier stamps the epoch's start time.
         self.shared.epoch_prof.enter();
         let epoch_span = self.shared.obs.as_ref().map(|rec| {
@@ -1051,6 +1167,14 @@ impl AmCtx {
         if self.drain_and_flush() {
             return false; // made progress; may have produced local work
         }
+        // No-op unless something dirtied the deltas since the flush above;
+        // the counter reads below must only see published state.
+        self.publish_deltas();
+        debug_assert_eq!(
+            self.buffered_pending(),
+            0,
+            "idle declared with unshipped coalesced messages"
+        );
         let me = &self.shared.ranks[self.rank];
         me.idle.store(true, SeqCst);
         // Double scan: flags, counters, flags, counters — all stable.
@@ -1100,18 +1224,9 @@ impl AmCtx {
         let (type_id, count) = (env.type_id, env.count);
         let payload = env.payload;
         let run = || {
-            let handler = {
-                let handlers = self.shared.ranks[self.rank].handlers.read();
-                handlers
-                    .get(type_id as usize)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "message of unregistered type {} arrived at rank {}",
-                            type_id, self.rank
-                        )
-                    })
-                    .clone()
-            };
+            // Frozen-table dispatch: no lock unless this thread's snapshot
+            // predates the type's registration (worker cold start).
+            let handler = self.local_handler(type_id);
             match &self.shared.obs {
                 None => handler(self, payload, count),
                 Some(rec) => {
@@ -1162,6 +1277,11 @@ impl AmCtx {
     /// Ship all of this thread's non-empty coalescing buffers. Returns the
     /// number of envelopes shipped.
     pub(crate) fn flush_own_buffers(&self) -> usize {
+        // Publish before shipping: every message in these buffers must be
+        // in the shared `sent` before it can be received — and this is
+        // also the routine liveness flush point (worker loops and all
+        // idle/termination paths come through here before blocking).
+        self.publish_deltas();
         // Note: handlers invoked later may refill buffers; callers loop.
         let mut shipped = 0;
         let mut bufs = self.bufs.borrow_mut();
@@ -1172,17 +1292,191 @@ impl AmCtx {
     }
 
     fn flush_flushables(&self) -> usize {
-        let flushables: Vec<_> = self.shared.ranks[self.rank]
-            .flushables
-            .read()
-            .iter()
-            .cloned()
-            .collect();
+        let me = &self.shared.ranks[self.rank];
+        let flushables = {
+            let want = me.flushables_len.load(Relaxed);
+            let t = self.tables.borrow();
+            if t.flushables.len() == want {
+                t.flushables.clone()
+            } else {
+                drop(t);
+                self.refresh_tables();
+                self.tables.borrow().flushables.clone()
+            }
+        };
         let mut forwarded = 0;
-        for fl in flushables {
+        for fl in flushables.iter() {
             forwarded += fl.flush(self);
         }
         forwarded
+    }
+
+    // ------------------------------------------------------------------
+    // Hot-path support: frozen tables, delta publication, batch recycling
+    // (see INTERNALS.md §9 for the full design + safety argument)
+    // ------------------------------------------------------------------
+
+    /// Refresh this thread's frozen table snapshots from the shared
+    /// registries. Called at epoch entry on rank main threads, after
+    /// registration on the registering thread, and lazily on snapshot
+    /// misses (worker threads) — never per message.
+    fn refresh_tables(&self) {
+        let me = &self.shared.ranks[self.rank];
+        let mut t = self.tables.borrow_mut();
+        t.handlers = me.handlers.read().iter().cloned().collect();
+        t.type_stats = self.shared.type_stats.read().iter().cloned().collect();
+        t.flushables = me.flushables.read().iter().cloned().collect();
+    }
+
+    /// Pre-size the per-type hot-path vectors (coalescing slots, per-type
+    /// deltas) to the frozen type count, so the send path's length checks
+    /// never grow anything mid-epoch on this thread.
+    fn presize_locals(&self) {
+        let ntypes = self.tables.borrow().type_stats.len();
+        {
+            let mut bufs = self.bufs.borrow_mut();
+            if bufs.len() < ntypes {
+                bufs.resize_with(ntypes, || None);
+            }
+        }
+        let mut pt = self.deltas.per_type.borrow_mut();
+        if pt.len() < ntypes {
+            pt.resize(ntypes, (0, 0));
+        }
+    }
+
+    /// The handler for `type_id` from the frozen table; on a miss (a
+    /// worker whose snapshot predates the registration) refresh once and
+    /// retry. The hit path takes no lock.
+    fn local_handler(&self, type_id: u32) -> Arc<ErasedHandler> {
+        let idx = type_id as usize;
+        {
+            let t = self.tables.borrow();
+            if let Some(h) = t.handlers.get(idx) {
+                return h.clone();
+            }
+        }
+        self.refresh_tables();
+        let t = self.tables.borrow();
+        t.handlers.get(idx).cloned().unwrap_or_else(|| {
+            panic!(
+                "message of unregistered type {} arrived at rank {}",
+                type_id, self.rank
+            )
+        })
+    }
+
+    /// Publish this thread's accumulated counter deltas to the shared
+    /// atomics. Flush points: before a full coalescing buffer ships
+    /// (`send_typed`'s `pre_ship` hook), at every `flush_own_buffers`
+    /// (which every idle loop and termination path runs through before
+    /// blocking or reading counters), and on the public stats accessors.
+    ///
+    /// Ordering: the Relaxed statistics and this rank's `sent` are
+    /// published first and `handled` last (both `SeqCst` RMWs), so any
+    /// thread that observes machine-wide `sent == handled` also observes
+    /// every statistic published alongside — the epoch profiler's sealed
+    /// snapshots stay exact. Safety of batching itself is argued in
+    /// `crate::termination` (delayed `sent` is never visible to a
+    /// receiver; delayed `handled` only understates progress).
+    pub(crate) fn publish_deltas(&self) {
+        if !self.deltas.dirty.replace(false) {
+            return;
+        }
+        let d = &self.deltas;
+        let stats = &self.shared.stats;
+        {
+            let mut pt = d.per_type.borrow_mut();
+            if pt.iter().any(|&(s, h)| s | h != 0) {
+                {
+                    let t = self.tables.borrow();
+                    if t.type_stats.len() < pt.len() {
+                        drop(t);
+                        self.refresh_tables();
+                    }
+                }
+                let t = self.tables.borrow();
+                for (idx, e) in pt.iter_mut().enumerate() {
+                    if e.0 | e.1 != 0 {
+                        let ts = &t.type_stats[idx];
+                        if e.0 > 0 {
+                            MachineStats::bump(&ts.sent, e.0);
+                        }
+                        if e.1 > 0 {
+                            MachineStats::bump(&ts.handled, e.1);
+                        }
+                        *e = (0, 0);
+                    }
+                }
+            }
+        }
+        for (cell, counter) in [
+            (&d.cache_hits, &stats.cache_hits),
+            (&d.cache_misses, &stats.cache_misses),
+            (&d.reduction_combines, &stats.reduction_combines),
+            (&d.reduction_forwards, &stats.reduction_forwards),
+        ] {
+            let n = cell.take();
+            if n > 0 {
+                MachineStats::bump(counter, n);
+            }
+        }
+        let me = &self.shared.ranks[self.rank];
+        let s = d.sent.take();
+        if s > 0 {
+            MachineStats::bump(&stats.messages_sent, s);
+            me.sent.fetch_add(s, SeqCst);
+        }
+        let h = d.handled.take();
+        if h > 0 {
+            MachineStats::bump(&stats.messages_handled, h);
+            me.handled.fetch_add(h, SeqCst);
+        }
+    }
+
+    /// Return a drained batch box from the handler loop to this thread's
+    /// per-type free list, so the next flush of that type ships without
+    /// allocating (see `crate::coalescing`). The box (what the envelope
+    /// payload downcasts to) is pooled whole — node and storage.
+    #[allow(clippy::box_collection)]
+    fn recycle_batch<T: Clone + Send + 'static>(&self, type_id: u32, batch: Box<Vec<T>>) {
+        debug_assert!(batch.is_empty());
+        let mut bufs = self.bufs.borrow_mut();
+        let idx = type_id as usize;
+        if bufs.len() <= idx {
+            grow_slots(&mut bufs, idx);
+        }
+        let cap = self.shared.cfg.coalescing_capacity;
+        let nranks = self.shared.cfg.ranks;
+        let slot =
+            bufs[idx].get_or_insert_with(|| Box::new(TypedBuffers::<T>::new(type_id, cap, nranks)));
+        let tb = slot
+            .as_any_mut()
+            .downcast_mut::<TypedBuffers<T>>()
+            .expect("message type ids are unique per machine");
+        tb.recycle(batch);
+    }
+
+    /// Batched statistic notes for the optional message layers (caching,
+    /// reduction): same delta discipline as `sent`/`handled`.
+    pub(crate) fn note_cache_hit(&self) {
+        PendingDeltas::add(&self.deltas.cache_hits, 1);
+        self.deltas.dirty.set(true);
+    }
+
+    pub(crate) fn note_cache_miss(&self) {
+        PendingDeltas::add(&self.deltas.cache_misses, 1);
+        self.deltas.dirty.set(true);
+    }
+
+    pub(crate) fn note_reduction_combine(&self) {
+        PendingDeltas::add(&self.deltas.reduction_combines, 1);
+        self.deltas.dirty.set(true);
+    }
+
+    pub(crate) fn note_reduction_forwards(&self, n: u64) {
+        PendingDeltas::add(&self.deltas.reduction_forwards, n);
+        self.deltas.dirty.set(true);
     }
 
     /// Handle all queued messages and ship all held ones. Returns whether
@@ -1260,6 +1554,14 @@ impl AmCtx {
             if self.drain_and_flush() {
                 continue;
             }
+            // Counter reads below must only see published state (no-op
+            // unless something dirtied the deltas since the flush above).
+            self.publish_deltas();
+            debug_assert_eq!(
+                self.buffered_pending(),
+                0,
+                "idle declared with unshipped coalesced messages"
+            );
             me.idle.store(true, SeqCst);
             if shared.completed_epoch.load(SeqCst) >= my_gen {
                 break;
@@ -1315,6 +1617,14 @@ impl AmCtx {
                 me.idle.store(false, SeqCst);
                 continue;
             }
+            // The wave tokens below read this rank's own counters; they
+            // must only see published state.
+            self.publish_deltas();
+            debug_assert_eq!(
+                self.buffered_pending(),
+                0,
+                "wave participation with unshipped coalesced messages"
+            );
             // Idle as far as the data plane is concerned (diagnostic only
             // in this mode — detection itself reads no shared flags).
             me.idle.store(true, SeqCst);

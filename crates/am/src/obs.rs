@@ -18,7 +18,10 @@
 //!   (duration, messages sent/handled, coalescing factor, cache-hit rate,
 //!   reduction-combine rate, control tokens). Always on: the cost is one
 //!   snapshot per *epoch*, not per message. Read them back with
-//!   [`AmCtx::epoch_profiles`](crate::AmCtx::epoch_profiles).
+//!   [`AmCtx::epoch_profiles`](crate::AmCtx::epoch_profiles). Epoch
+//!   boundaries are termination-detection instants, at which every
+//!   thread's batched counter deltas have been published (INTERNALS.md
+//!   §9), so the sealed deltas are exact despite the batching.
 //! * **Exporters** — [`chrome_trace_json`] renders the recorded spans as
 //!   Chrome trace-event JSON (loadable in `chrome://tracing` / Perfetto,
 //!   one track per rank), and [`MetricsReport::to_json`] emits a

@@ -19,7 +19,6 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::machine::{AmCtx, Flushable, MessageType, RankId};
-use crate::stats::MachineStats;
 
 struct DestTable<K, V> {
     slots: Vec<Option<(K, V)>>,
@@ -113,11 +112,11 @@ where
         };
         match outcome {
             Offer::Combined => {
-                MachineStats::bump(&ctx.stats_handle().reduction_combines, 1);
+                ctx.note_reduction_combine();
             }
             Offer::Held => {}
             Offer::Evicted(k, v) => {
-                MachineStats::bump(&ctx.stats_handle().reduction_forwards, 1);
+                ctx.note_reduction_forwards(1);
                 self.inner.send(ctx, dest, (k, v));
             }
         }
@@ -158,7 +157,7 @@ where
                     break;
                 }
                 forwarded += drained.len();
-                MachineStats::bump(&ctx.stats_handle().reduction_forwards, drained.len() as u64);
+                ctx.note_reduction_forwards(drained.len() as u64);
                 for (k, v) in drained {
                     self.inner.send(ctx, dest, (k, v));
                 }

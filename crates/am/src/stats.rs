@@ -4,6 +4,15 @@
 //! messages, and the AM++ layers — coalescing, caching, reductions — are all
 //! message-count optimizations), so the runtime keeps precise counters that
 //! the experiment harness reads.
+//!
+//! Hot-path counters (`messages_sent`, `messages_handled`, the cache and
+//! reduction statistics, and the per-type [`TypeStat`]s) are *not* bumped
+//! per message: threads accumulate deltas locally and publish them at
+//! envelope boundaries and before every idle/termination check (see
+//! INTERNALS.md §9). Mid-epoch snapshots may therefore lag by up to one
+//! coalescing buffer per thread; at every termination-detection instant —
+//! in particular whenever an epoch ends or [`crate::AmCtx::stats`] /
+//! [`crate::AmCtx::type_stats`] is called — the counters are exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

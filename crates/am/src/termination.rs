@@ -53,6 +53,41 @@
 //! handler that deposited local work after a rank last declared itself idle
 //! is always caught by one of the two scans.
 //!
+//! ## Interaction with batched counters
+//!
+//! Since the hot-path rework (INTERNALS.md §9) threads do not bump the
+//! shared `sent`/`handled` counters per message; they accumulate deltas in
+//! thread-local cells and publish them in batches. Both detectors above
+//! stay correct because publication is placed so that the two invariants
+//! they rely on still hold for the *shared* counters they read:
+//!
+//! * **`handled ≤ sent` is preserved.** A `sent` delta is published
+//!   *before* the envelope carrying those messages ships
+//!   (`TypedBuffers::push` invokes the publish hook before `flush_dest`,
+//!   and `flush_own_buffers` publishes before flushing), so a message is
+//!   visible in shared `sent` before any rank can receive it — exactly the
+//!   per-message discipline, just batched. A `handled` delta may lag until
+//!   the handling thread's next publish point, which only *understates*
+//!   `handled`: the detectors can miss a true quiescent instant (they
+//!   retry) but can never observe `handled == sent` while work is in
+//!   flight.
+//! * **Idle implies published.** Every path that raises an idle flag,
+//!   answers a wave, or evaluates the termination condition publishes its
+//!   own deltas first (`try_finish`, the counters-mode and wave-mode epoch
+//!   finishers, and the worker loops before blocking). So "all ranks idle"
+//!   still implies the shared counters include everything those ranks did,
+//!   and the wave token's `(sent, handled)` reads are exact for the
+//!   answering rank. Liveness needs no timer: a thread with unpublished
+//!   deltas is by definition not blocked in detection, and it publishes on
+//!   the way in.
+//!
+//! Within one publication, per-type and layer statistics are flushed
+//! (Relaxed) before the rank's `sent` and finally `handled` (both SeqCst
+//! RMWs, `handled` last): any thread that observes balanced counters
+//! therefore also observes every statistic published alongside them, which
+//! keeps end-of-epoch profiler seals and [`crate::StatsSnapshot`] exact at
+//! the detection instant.
+//!
 //! ## Interaction with fault injection
 //!
 //! Both detectors remain correct under an unreliable transport

@@ -9,6 +9,12 @@
 //! verifier (`dgp-core::verify`) over every registered pattern family,
 //! printing a diagnostics table; it exits nonzero if any error-severity
 //! diagnostic is found (CI runs this).
+//! `--bench-json PATH` skips the experiments and instead measures the raw
+//! message-rate + algorithm benchmark suite, writing a machine-readable
+//! `BENCH_*.json` to PATH (combine with `--small` for CI-sized runs).
+//! `--bench-smoke PATH` re-measures only the headline throughput and
+//! exits nonzero when it regressed more than 30% against the number
+//! recorded in PATH (CI runs this against the committed `BENCH_5.json`).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -59,12 +65,103 @@ fn lint() -> ! {
     std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 
+/// `--bench-json PATH`: run the benchmark suite and write the report.
+fn bench_json(path: &str, small: bool) -> ! {
+    use dgp_bench::bench_json;
+
+    let report = bench_json::collect(small);
+    println!(
+        "headline: {:.2}M msgs/sec (all_to_all, {} ranks, coalescing {})",
+        report.headline_msgs_per_sec / 1e6,
+        bench_json::HEADLINE_RANKS,
+        bench_json::HEADLINE_COALESCING,
+    );
+    for p in &report.message_rate {
+        println!(
+            "  {:<10} ranks={} coalescing={:<4} {:>9} msgs in {:>9.2} ms  ({:.2}M/s)",
+            p.scenario,
+            p.ranks,
+            p.coalescing,
+            p.messages,
+            p.millis,
+            p.msgs_per_sec / 1e6
+        );
+    }
+    for a in &report.algorithms {
+        println!(
+            "  {:<22} {:>9.2} ms  {:>9} msgs  {:>3} epochs  mean epoch {:>9.1} us",
+            a.name, a.millis, a.messages, a.epochs, a.mean_epoch_us
+        );
+    }
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("--bench-json {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+    std::process::exit(0);
+}
+
+/// `--bench-smoke PATH`: compare a fresh headline measurement against the
+/// recorded one; fail on >30% regression.
+fn bench_smoke(path: &str) -> ! {
+    use dgp_bench::bench_json;
+
+    let recorded = match std::fs::read_to_string(path) {
+        Ok(s) => match bench_json::parse_headline(&s) {
+            Some(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("--bench-smoke {path}: no headline_msgs_per_sec field");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("--bench-smoke {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = bench_json::headline();
+    let floor = recorded * (1.0 - bench_json::SMOKE_TOLERANCE);
+    println!(
+        "recorded {:.2}M msgs/sec, measured {:.2}M msgs/sec (floor {:.2}M)",
+        recorded / 1e6,
+        fresh.msgs_per_sec / 1e6,
+        floor / 1e6
+    );
+    if fresh.msgs_per_sec < floor {
+        eprintln!(
+            "message-rate smoke FAILED: throughput regressed more than {:.0}%",
+            bench_json::SMOKE_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("message-rate smoke ok");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--lint") {
         lint();
     }
     let small = args.iter().any(|a| a == "--small");
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        match args.get(i + 1) {
+            Some(path) => bench_json(&path.clone(), small),
+            None => {
+                eprintln!("--bench-json needs a file argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-smoke") {
+        match args.get(i + 1) {
+            Some(path) => bench_smoke(&path.clone()),
+            None => {
+                eprintln!("--bench-smoke needs a file argument");
+                std::process::exit(2);
+            }
+        }
+    }
     let metrics_dir: Option<PathBuf> = args.iter().position(|a| a == "--metrics").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("--metrics needs a directory argument");

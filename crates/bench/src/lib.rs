@@ -4,6 +4,7 @@
 //! regenerates every figure/experiment table in `EXPERIMENTS.md`) and the
 //! Criterion benches.
 
+pub mod bench_json;
 pub mod measure;
 pub mod table;
 pub mod workloads;
