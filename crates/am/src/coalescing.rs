@@ -24,7 +24,8 @@
 
 use std::any::Any;
 
-use crate::machine::{deliver, Envelope, RankId, Shared};
+use crate::machine::{AmCtx, Envelope, RankId};
+use crate::trace::TraceCtx;
 
 /// Most spare batch boxes a [`TypedBuffers`] retains; beyond this,
 /// recycled boxes are dropped (bounds memory on asymmetric flows).
@@ -32,8 +33,9 @@ const MAX_SPARES: usize = 16;
 
 /// Type-erased per-type coalescing buffers, one slot per destination rank.
 pub(crate) trait ErasedBuffers: Any {
-    /// Ship every non-empty destination buffer. Returns envelopes shipped.
-    fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize;
+    /// Ship every non-empty destination buffer through the owning
+    /// thread's context. Returns envelopes shipped.
+    fn flush_all(&mut self, ctx: &AmCtx) -> usize;
     /// Total pending messages across destinations. The idle/termination
     /// paths assert this is zero before a thread declares itself idle
     /// (see `AmCtx::buffered_pending`).
@@ -57,6 +59,12 @@ pub(crate) struct TypedBuffers<T: Clone + Send + 'static> {
     type_id: u32,
     capacity: usize,
     per_dest: Vec<Vec<T>>,
+    /// Causal context attached to each destination's pending batch: the
+    /// context of the *first traced* message coalesced into it
+    /// ([`TraceCtx::NONE`] when no pending message is traced). Coalescing
+    /// merges causality — one envelope, one attribution — which is the
+    /// granularity the transport actually ships at.
+    trace_per_dest: Vec<TraceCtx>,
     /// Drained batch boxes recycled by the handler loop, reused by the
     /// next flush so steady state ships envelopes without allocating.
     /// The box is not gratuitous: envelope payloads cross a
@@ -72,31 +80,28 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
             type_id,
             capacity,
             per_dest: (0..ranks).map(|_| Vec::new()).collect(),
+            trace_per_dest: vec![TraceCtx::NONE; ranks],
             spares: Vec::new(),
         }
     }
 
     /// Buffer one message; ship the destination's batch if it reached
-    /// capacity, invoking `pre_ship` first (the runtime publishes its
-    /// pending counter deltas there, so every message in the envelope is
-    /// counted in `sent` before it becomes receivable). Returns whether
-    /// an envelope was shipped.
-    pub(crate) fn push(
-        &mut self,
-        shared: &Shared,
-        from: RankId,
-        dest: RankId,
-        msg: T,
-        pre_ship: impl FnOnce(),
-    ) -> bool {
+    /// capacity. The runtime's pending counter deltas are published before
+    /// the ship, so every message in the envelope is counted in `sent`
+    /// before it becomes receivable. Returns whether an envelope was
+    /// shipped.
+    pub(crate) fn push(&mut self, ctx: &AmCtx, dest: RankId, msg: T, trace: TraceCtx) -> bool {
         let buf = &mut self.per_dest[dest];
         if buf.capacity() == 0 {
             buf.reserve_exact(self.capacity);
         }
         buf.push(msg);
+        if trace.is_traced() && !self.trace_per_dest[dest].is_traced() {
+            self.trace_per_dest[dest] = trace;
+        }
         if buf.len() >= self.capacity {
-            pre_ship();
-            self.flush_dest(shared, from, dest);
+            ctx.publish_deltas();
+            self.flush_dest(ctx, dest);
             true
         } else {
             false
@@ -115,7 +120,7 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
         }
     }
 
-    fn flush_dest(&mut self, shared: &Shared, from: RankId, dest: RankId) {
+    fn flush_dest(&mut self, ctx: &AmCtx, dest: RankId) {
         let buf = &mut self.per_dest[dest];
         if buf.is_empty() {
             return;
@@ -132,13 +137,13 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
             None => Box::new(std::mem::take(buf)),
         };
         let count = batch.len() as u32;
-        deliver(
-            shared,
-            from,
+        let trace = std::mem::replace(&mut self.trace_per_dest[dest], TraceCtx::NONE);
+        ctx.ship_envelope(
             dest,
             Envelope {
                 type_id: self.type_id,
                 count,
+                trace,
                 payload: batch,
                 clone_payload: clone_payload::<T>,
             },
@@ -147,11 +152,11 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
 }
 
 impl<T: Clone + Send + 'static> ErasedBuffers for TypedBuffers<T> {
-    fn flush_all(&mut self, shared: &Shared, from: RankId) -> usize {
+    fn flush_all(&mut self, ctx: &AmCtx) -> usize {
         let mut shipped = 0;
         for dest in 0..self.per_dest.len() {
             if !self.per_dest[dest].is_empty() {
-                self.flush_dest(shared, from, dest);
+                self.flush_dest(ctx, dest);
                 shipped += 1;
             }
         }

@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::fault::FaultPlan;
@@ -77,6 +78,35 @@ pub struct MachineConfig {
     /// [`MachineError::EpochDeadline`](crate::MachineError::EpochDeadline)
     /// naming the non-quiescent ranks, instead of hanging forever.
     pub epoch_deadline: Option<Duration>,
+    /// Per-thread capacity of the always-on flight recorder (0 disables
+    /// it). Each runtime thread keeps this many recent
+    /// [`FlightEvent`](crate::FlightEvent)s in a thread-local ring —
+    /// envelope ships, handler entries/exits, epoch transitions,
+    /// termination votes, retransmissions — frozen on the first recorded
+    /// failure and merged into the [`PostMortem`](crate::PostMortem)
+    /// timeline. Pushes are lock-free and thread-local (INTERNALS §10),
+    /// which is why the recorder can stay on by default.
+    pub flight_events: usize,
+    /// Causal-trace sampling rate: on average one in `trace_sampling`
+    /// causally-new sends starts a traced cascade (0 disables tracing;
+    /// 1 traces everything). Handler re-sends inside a traced cascade are
+    /// always traced — sampling decides only where cascades *start*. The
+    /// decision is a deterministic function of
+    /// ([`trace_seed`](Self::trace_seed), rank, thread, send index), so
+    /// identical configs trace identical cascades.
+    pub trace_sampling: u64,
+    /// Seed for the causal-trace sampler. 0 (the default) derives the
+    /// seed from the fault plan's seed when one is installed — chaos runs
+    /// trace reproducibly with no extra wiring — and otherwise uses a
+    /// fixed constant.
+    pub trace_seed: u64,
+    /// Directory automatic post-mortems are written into. When set (or
+    /// when the `DGP_POSTMORTEM_DIR` environment variable is, which takes
+    /// effect without a config change), any failed run writes its
+    /// rendered [`PostMortem`](crate::PostMortem) — and, when profiling
+    /// is on, a Chrome trace — into this directory before the error is
+    /// returned.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl MachineConfig {
@@ -93,6 +123,10 @@ impl MachineConfig {
             profile_spans: 1 << 16,
             faults: None,
             epoch_deadline: None,
+            flight_events: 1024,
+            trace_sampling: 64,
+            trace_seed: 0,
+            postmortem_dir: None,
         }
     }
 
@@ -146,6 +180,36 @@ impl MachineConfig {
     /// the machine with a diagnostic instead of hanging.
     pub fn epoch_deadline(mut self, d: Duration) -> Self {
         self.epoch_deadline = Some(d);
+        self
+    }
+
+    /// Set the per-thread flight-recorder ring capacity (0 disables the
+    /// recorder; see [`MachineConfig::flight_events`]).
+    pub fn flight(mut self, events_per_thread: usize) -> Self {
+        self.flight_events = events_per_thread;
+        self
+    }
+
+    /// Set the causal-trace sampling rate: one traced cascade per `n`
+    /// causally-new sends on average (0 disables tracing, 1 traces every
+    /// send; see [`MachineConfig::trace_sampling`]).
+    pub fn trace_sampling(mut self, n: u64) -> Self {
+        self.trace_sampling = n;
+        self
+    }
+
+    /// Seed the causal-trace sampler explicitly (see
+    /// [`MachineConfig::trace_seed`]).
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
+        self
+    }
+
+    /// Write automatic post-mortems (and Chrome traces, when profiling)
+    /// for failed runs into `dir` (see
+    /// [`MachineConfig::postmortem_dir`]).
+    pub fn postmortem(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.postmortem_dir = Some(dir.into());
         self
     }
 
@@ -208,5 +272,31 @@ mod tests {
         let c = MachineConfig::default();
         assert_eq!(c.ranks, 1);
         assert_eq!(c.termination, TerminationMode::SharedCounters);
+    }
+
+    #[test]
+    fn flight_and_tracing_default_on() {
+        let c = MachineConfig::default();
+        assert!(c.flight_events > 0, "flight recorder is always-on");
+        assert!(c.trace_sampling > 0, "causal tracing samples by default");
+        assert_eq!(c.trace_seed, 0, "seed derived from the fault plan");
+        assert!(c.postmortem_dir.is_none());
+    }
+
+    #[test]
+    fn observability_builders_chain() {
+        let c = MachineConfig::new(2)
+            .flight(0)
+            .trace_sampling(1)
+            .trace_seed(42)
+            .postmortem("/tmp/pm");
+        assert_eq!(c.flight_events, 0);
+        assert_eq!(c.trace_sampling, 1);
+        assert_eq!(c.trace_seed, 42);
+        assert_eq!(
+            c.postmortem_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/pm"))
+        );
+        c.validate();
     }
 }

@@ -58,6 +58,12 @@ use parking_lot::Mutex;
 use crate::machine::{Ack, Envelope, Packet, RankId, Shared};
 use crate::obs::{SpanKind, SpanRecord};
 use crate::stats::MachineStats;
+use crate::trace::{FlightKind, LaneBacklog};
+
+/// Pack a directed lane into one flight-event payload word.
+fn lane_word(from: RankId, to: RankId) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
 
 /// A seeded, deterministic plan of transport perturbations.
 ///
@@ -422,19 +428,31 @@ impl Transport {
                 // Lost on the wire; the pending copy will be retransmitted
                 // once its timeout expires.
                 MachineStats::bump(&shared.stats.injected_drops, 1);
+                shared
+                    .flight
+                    .aux_push(FlightKind::FaultInjected, lane_word(from, to), 0);
             }
             FaultAction::Delay(ticks) => {
                 MachineStats::bump(&shared.stats.injected_delays, 1);
+                shared
+                    .flight
+                    .aux_push(FlightKind::FaultInjected, lane_word(from, to), 2);
                 self.park(self.now() + ticks, flight);
             }
             FaultAction::Reorder => {
                 MachineStats::bump(&shared.stats.injected_reorders, 1);
+                shared
+                    .flight
+                    .aux_push(FlightKind::FaultInjected, lane_word(from, to), 3);
                 self.held[lane]
                     .lock()
                     .push((self.now() + self.plan.reorder_window, flight));
             }
             FaultAction::Duplicate => {
                 MachineStats::bump(&shared.stats.injected_dups, 1);
+                shared
+                    .flight
+                    .aux_push(FlightKind::FaultInjected, lane_word(from, to), 1);
                 let dup = Flight {
                     from,
                     to,
@@ -446,6 +464,28 @@ impl Transport {
                 self.transmit(shared, flight);
             }
         }
+    }
+
+    /// Snapshot of every unacknowledged lane (post-mortem input): how many
+    /// packets await acknowledgement and how old the oldest one is. The
+    /// locks make this exact only when the machine is quiescent or frozen,
+    /// which is the only time it is read.
+    pub(crate) fn backlog(&self) -> Vec<LaneBacklog> {
+        let mut out = Vec::new();
+        for (lane, pending) in self.pending.iter().enumerate() {
+            let p = pending.lock();
+            let Some((&oldest_seq, pkt)) = p.iter().next() else {
+                continue;
+            };
+            out.push(LaneBacklog {
+                from: lane / self.nranks,
+                to: lane % self.nranks,
+                pending: p.len(),
+                oldest_seq,
+                attempts: pkt.attempts,
+            });
+        }
+        out
     }
 
     fn park(&self, release_at: u64, flight: Flight) {
@@ -486,6 +526,9 @@ impl Transport {
     pub(crate) fn ack(&self, shared: &Shared, from: RankId, to: RankId, type_id: u32, seq: u64) {
         if self.plan.drops_ack(from, to, type_id, seq) {
             MachineStats::bump(&shared.stats.injected_drops, 1);
+            shared
+                .flight
+                .aux_push(FlightKind::FaultInjected, lane_word(from, to), 4);
             return;
         }
         shared.push_ack(from, Ack { from, to, seq });
@@ -574,6 +617,9 @@ impl Transport {
                     // (see FaultPlan::action); anything else is a delivery.
                     _ => {
                         MachineStats::bump(&shared.stats.retransmits, 1);
+                        shared
+                            .flight
+                            .aux_push(FlightKind::Retransmit, lane_word(rank, to), seq);
                         if let Some(rec) = &shared.obs {
                             rec.record(SpanRecord {
                                 kind: SpanKind::Transport,
@@ -585,6 +631,8 @@ impl Transport {
                                 epoch: shared.current_epoch_hint(),
                                 arg0: lane as u64,
                                 arg1: seq,
+                                flow_in: 0,
+                                flow_out: 0,
                             });
                         }
                         self.transmit_raw(shared, flight);

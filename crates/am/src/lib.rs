@@ -43,6 +43,14 @@
 //!   [`MachineError`] from [`Machine::try_run`] on every rank instead of
 //!   deadlocking; an optional [`MachineConfig::epoch_deadline`] watchdog
 //!   converts hung epochs into attributed errors.
+//! * **Causal tracing and flight recording** ([`trace`]): a deterministic
+//!   sampler stamps envelopes with compact causal contexts that handler
+//!   re-sends inherit, exported as Chrome flow events stitching cascades
+//!   across ranks; an always-on per-thread flight recorder keeps the last
+//!   moments of every thread, and any failed run assembles an automatic
+//!   [`PostMortem`] — merged timeline, unacked reliability lanes, and the
+//!   causal chain into the failing handler
+//!   ([`Machine::try_run_diagnosed`]).
 //!
 //! ## Simulated distribution
 //!
@@ -97,6 +105,7 @@ pub mod obs;
 pub mod reduction;
 pub mod stats;
 pub mod termination;
+pub mod trace;
 
 pub use addressing::AddressMap;
 pub use caching::CachingSender;
@@ -109,3 +118,6 @@ pub use obs::{
 };
 pub use reduction::ReducingSender;
 pub use stats::StatsSnapshot;
+pub use trace::{
+    FailCause, FlightEvent, FlightKind, FlightRing, LaneBacklog, MergedEvent, PostMortem, TraceCtx,
+};

@@ -38,6 +38,9 @@ use crate::obs::{
 };
 use crate::stats::{MachineStats, StatsSnapshot, TypeStat, TypeStatSnapshot};
 use crate::termination::{ring_next, Token};
+use crate::trace::{
+    mix64, FailCause, FlightCollector, FlightEvent, FlightKind, FlightRing, PostMortem, TraceCtx,
+};
 
 /// Index of a rank (simulated node) within a machine.
 pub type RankId = usize;
@@ -68,6 +71,10 @@ struct TraceRing {
 pub(crate) struct Envelope {
     pub(crate) type_id: u32,
     pub(crate) count: u32,
+    /// Causal context ([`TraceCtx::NONE`] for the untraced common case).
+    /// An envelope is attributed to the first traced message coalesced
+    /// into it; its `event` id is assigned when it ships.
+    pub(crate) trace: TraceCtx,
     pub(crate) payload: Box<dyn Any + Send>,
     /// Monomorphized payload replicator (see [`crate::coalescing`]): lets
     /// the type-erased reliability layer copy the payload for retransmit
@@ -76,11 +83,14 @@ pub(crate) struct Envelope {
 }
 
 impl Envelope {
-    /// A deep copy of this envelope (payload included).
+    /// A deep copy of this envelope (payload included). The trace context
+    /// is copied verbatim: a retransmitted or duplicated envelope is the
+    /// *same* causal event, not a new one.
     pub(crate) fn duplicate(&self) -> Envelope {
         Envelope {
             type_id: self.type_id,
             count: self.count,
+            trace: self.trace,
             payload: (self.clone_payload)(self.payload.as_ref()),
             clone_payload: self.clone_payload,
         }
@@ -234,6 +244,18 @@ pub(crate) struct Shared {
     /// The original panic payload behind `failure`, when there is one —
     /// [`Machine::run`] re-raises it so panic messages survive verbatim.
     failure_payload: parking_lot::Mutex<Option<Box<dyn Any + Send>>>,
+    /// Always-on flight recorder: per-thread rings deposit here at thread
+    /// exit; frozen by the first recorded failure (see [`crate::trace`]).
+    pub(crate) flight: FlightCollector,
+    /// Allocator for causal event ids (traced envelopes only — untraced
+    /// ships never touch it).
+    trace_eid: AtomicU64,
+    /// Resolved causal-trace sampler seed (see
+    /// [`MachineConfig::trace_seed`]).
+    trace_seed: u64,
+    /// Causal context of the envelope whose handler recorded the machine's
+    /// failure (first-wins, alongside `failure`).
+    fail_cause: parking_lot::Mutex<Option<FailCause>>,
     pub(crate) stats: MachineStats,
 }
 
@@ -274,8 +296,21 @@ impl Shared {
             .faults
             .clone()
             .map(|plan| Transport::new(plan, cfg.ranks));
+        // Chaos runs trace reproducibly with no extra wiring: an explicit
+        // trace seed wins, otherwise the fault plan's seed (when one is
+        // installed), otherwise a fixed constant.
+        let trace_seed = match (cfg.trace_seed, &cfg.faults) {
+            (0, Some(plan)) => plan.seed,
+            (0, None) => 0x9E37_79B9_7F4A_7C15,
+            (s, _) => s,
+        };
+        let flight = FlightCollector::new(cfg.flight_events);
         Shared {
             transport,
+            flight,
+            trace_eid: AtomicU64::new(0),
+            trace_seed,
+            fail_cause: parking_lot::Mutex::new(None),
             cfg,
             ranks,
             epoch_active: AtomicUsize::new(0),
@@ -330,7 +365,20 @@ impl Shared {
                 *self.failure_payload.lock() = payload;
             }
         }
+        // Freeze the flight recorder so the rings keep the events leading
+        // *into* the failure rather than the teardown noise after it.
+        self.flight.freeze();
         self.poison();
+    }
+
+    /// Record the causal context of the failure (first caller wins, same
+    /// discipline as [`Shared::fail`] — call *before* `fail`, which
+    /// freezes the rings).
+    pub(crate) fn record_fail_cause(&self, cause: FailCause) {
+        let mut slot = self.fail_cause.lock();
+        if slot.is_none() {
+            *slot = Some(cause);
+        }
     }
 
     /// Abort this thread (controlled unwind, swallowed by the rank
@@ -514,14 +562,42 @@ pub struct AmCtx {
     /// When the current epoch's entry barrier cleared on this rank; basis
     /// of the [`MachineConfig::epoch_deadline`] watchdog.
     epoch_entered_at: Cell<Option<Instant>>,
+    /// This thread's flight-recorder ring (deposited into
+    /// `shared.flight` when the context drops — normal exit or unwind).
+    flight: RefCell<FlightRing>,
+    /// Set while executing a traced envelope's handler batch: sends
+    /// inherit `trace_cur` instead of consulting the sampler.
+    trace_inherit: Cell<bool>,
+    /// The causal context handler re-sends inherit while
+    /// `trace_inherit` is set.
+    trace_cur: Cell<TraceCtx>,
+    /// Sends until the sampler starts the next traced cascade (1 = next
+    /// send is a root; 0 = sampling off, pinned).
+    trace_gap: Cell<u64>,
+    /// Traced cascades this thread has started (feeds root-id derivation).
+    trace_roots: Cell<u64>,
+}
+
+impl Drop for AmCtx {
+    fn drop(&mut self) {
+        // Deposit whatever the ring holds — drop runs on both normal
+        // thread exit and unwinding, and `run_inner` only reads the
+        // collector after every thread has been joined.
+        let ring = std::mem::replace(
+            self.flight.get_mut(),
+            FlightRing::new(self.rank, self.thread, 0),
+        );
+        self.shared.flight.deposit(ring);
+    }
 }
 
 /// Entry point: run an SPMD program on a simulated machine.
 pub struct Machine;
 
 /// A recorded failure plus, when the primary cause was a panic, the
-/// original payload so [`Machine::run`] can re-raise it verbatim.
-type RunFailure = (MachineError, Option<Box<dyn Any + Send>>);
+/// original payload so [`Machine::run`] can re-raise it verbatim, plus
+/// the automatic post-mortem assembled from the frozen flight rings.
+type RunFailure = (MachineError, Option<Box<dyn Any + Send>>, Box<PostMortem>);
 
 impl Machine {
     /// Spawn `cfg.ranks` main threads (plus workers) and run `f` on each;
@@ -537,11 +613,11 @@ impl Machine {
             Ok(out) => out,
             // Re-raise the original panic when there is one, so panic
             // messages (and #[should_panic] expectations) survive verbatim.
-            Err((err, Some(payload))) => {
+            Err((err, Some(payload), _)) => {
                 let _ = err;
                 std::panic::resume_unwind(payload)
             }
-            Err((err, None)) => panic!("{err}"),
+            Err((err, None, _)) => panic!("{err}"),
         }
     }
 
@@ -556,7 +632,24 @@ impl Machine {
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
     {
-        Self::run_inner(cfg, f).map_err(|(err, _)| err)
+        Self::run_inner(cfg, f).map_err(|(err, _, _)| err)
+    }
+
+    /// [`Machine::try_run`] plus the automatic [`PostMortem`]: the frozen
+    /// flight-recorder rings merged into one timeline, the unacked
+    /// reliability lanes, and the causal chain into the failing handler.
+    /// The post-mortem is always assembled (with an empty timeline when
+    /// the flight recorder was disabled via
+    /// [`MachineConfig::flight`](crate::MachineConfig::flight)`(0)`).
+    pub fn try_run_diagnosed<F, R>(
+        cfg: MachineConfig,
+        f: F,
+    ) -> Result<Vec<R>, (MachineError, Box<PostMortem>)>
+    where
+        F: Fn(&AmCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::run_inner(cfg, f).map_err(|(err, _, pm)| (err, pm))
     }
 
     fn run_inner<F, R>(cfg: MachineConfig, f: F) -> Result<Vec<R>, RunFailure>
@@ -635,24 +728,95 @@ impl Machine {
             // the workers wake up and exit before the scope joins them.
             shared.shutdown.store(true, SeqCst);
         });
+        // Truncated span traces must not be silently misleading: one line,
+        // once per run, only when it actually happened.
+        if let Some(rec) = &shared.obs {
+            let dropped = rec.dropped();
+            if dropped > 0 {
+                eprintln!(
+                    "dgp-am: span recorder dropped {dropped} spans (trace is truncated; \
+                     raise MachineConfig::profile_capacity to keep all of them)"
+                );
+            }
+        }
         if let Some(err) = shared.failure.lock().take() {
-            return Err((err, shared.failure_payload.lock().take()));
+            let payload = shared.failure_payload.lock().take();
+            let pm = assemble_postmortem(&shared, &err);
+            write_postmortem(&shared, &pm);
+            return Err((err, payload, pm));
         }
         let mut out = Vec::with_capacity(nranks);
         for (rank, r) in results.into_iter().enumerate() {
             match r {
                 Some(r) => out.push(r),
                 None => {
-                    return Err((
-                        MachineError::Poisoned {
-                            message: format!("rank {rank} produced no result and no error"),
-                        },
-                        None,
-                    ))
+                    let err = MachineError::Poisoned {
+                        message: format!("rank {rank} produced no result and no error"),
+                    };
+                    let pm = assemble_postmortem(&shared, &err);
+                    write_postmortem(&shared, &pm);
+                    return Err((err, None, pm));
                 }
             }
         }
         Ok(out)
+    }
+}
+
+/// Build the automatic post-mortem for a failed run. Every thread has
+/// been joined (and so has deposited its flight ring) by the time this
+/// runs, which is what makes reading the collector race-free.
+fn assemble_postmortem(shared: &Shared, err: &MachineError) -> Box<PostMortem> {
+    let unacked = shared
+        .transport
+        .as_ref()
+        .map(|t| t.backlog())
+        .unwrap_or_default();
+    Box::new(PostMortem::assemble(
+        err.to_string(),
+        shared.fail_cause.lock().clone(),
+        shared.total_sent(),
+        shared.total_handled(),
+        shared.flight.collect(),
+        unacked,
+    ))
+}
+
+/// Write the rendered post-mortem (and, when profiling was on, a Chrome
+/// trace) into the configured dump directory — `MachineConfig::postmortem`
+/// or the `DGP_POSTMORTEM_DIR` environment variable. Failures to write are
+/// reported on stderr, never escalated: the dump must not mask the error
+/// it documents.
+fn write_postmortem(shared: &Shared, pm: &PostMortem) {
+    let dir = match (
+        &shared.cfg.postmortem_dir,
+        std::env::var_os("DGP_POSTMORTEM_DIR"),
+    ) {
+        (Some(d), _) => d.clone(),
+        (None, Some(d)) => std::path::PathBuf::from(d),
+        (None, None) => return,
+    };
+    static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = DUMP_SEQ.fetch_add(1, Relaxed);
+    let tag = format!("{}-{}", std::process::id(), seq);
+    let write = |name: String, contents: String| {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents))
+        {
+            eprintln!(
+                "dgp-am: failed to write post-mortem {}: {e}",
+                path.display()
+            );
+        } else {
+            eprintln!("dgp-am: post-mortem written to {}", path.display());
+        }
+    };
+    write(format!("postmortem-{tag}.txt"), pm.render());
+    if let Some(rec) = &shared.obs {
+        write(
+            format!("trace-{tag}.json"),
+            obs::chrome_trace_json(&rec.all_spans(), shared.cfg.ranks),
+        );
     }
 }
 
@@ -716,6 +880,19 @@ fn grow_slots(bufs: &mut Vec<Option<Box<dyn ErasedBuffers>>>, idx: usize) {
 
 impl AmCtx {
     fn new(shared: Arc<Shared>, rank: RankId, thread: usize) -> Self {
+        let flight = FlightRing::new(rank, thread, shared.flight.capacity());
+        // Stagger each thread's first sampled root deterministically so
+        // roots don't cluster at epoch starts across threads. Gaps are
+        // uniform in [1, 2n-1] (mean n) — the upper bound is 2n-1, not
+        // 2n, so that n == 1 pins the gap at 1 and traces every send, as
+        // MachineConfig::trace_sampling promises.
+        let gap = if shared.cfg.trace_sampling == 0 {
+            0
+        } else {
+            let n = shared.cfg.trace_sampling;
+            let h = mix64(shared.trace_seed ^ ((rank as u64) << 24) ^ (thread as u64));
+            h % (2 * n - 1) + 1
+        };
         AmCtx {
             shared,
             rank,
@@ -726,6 +903,11 @@ impl AmCtx {
             in_epoch: Cell::new(false),
             epochs_entered: Cell::new(0),
             epoch_entered_at: Cell::new(None),
+            flight: RefCell::new(flight),
+            trace_inherit: Cell::new(false),
+            trace_cur: Cell::new(TraceCtx::NONE),
+            trace_gap: Cell::new(gap),
+            trace_roots: Cell::new(0),
         }
     }
 
@@ -840,7 +1022,19 @@ impl AmCtx {
             cumulative: self.stats(),
             per_type: self.type_stats(),
             epoch_profiles: self.epoch_profiles(),
+            spans_dropped: match &self.shared.obs {
+                Some(rec) => (0..self.num_ranks()).map(|r| rec.dropped_of(r)).collect(),
+                None => Vec::new(),
+            },
         }
+    }
+
+    /// Publish a convergence gauge into the current epoch's profile
+    /// (summed by name across ranks, drained into the next sealed
+    /// [`crate::obs::EpochProfile`]). Always on — the cost is one mutex
+    /// acquisition per call, so publish per epoch, not per message.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.shared.epoch_prof.gauge(name, value);
     }
 
     /// Export every recorded span as Chrome trace-event JSON (one track
@@ -981,7 +1175,114 @@ impl AmCtx {
             .as_any_mut()
             .downcast_mut::<TypedBuffers<T>>()
             .expect("message type ids are unique per machine");
-        tb.push(&self.shared, self.rank, dest, msg, || self.publish_deltas());
+        let trace = self.trace_for_send();
+        if trace.is_traced() {
+            // Per-message flight events exist only for traced sends —
+            // sampling bounds them, keeping the recorder off the untraced
+            // hot path.
+            self.flight_push(FlightKind::Send, trace.root, dest as u64);
+        }
+        tb.push(self, dest, msg, trace);
+    }
+
+    // ------------------------------------------------------------------
+    // Causal tracing + flight recorder (see `crate::trace`)
+    // ------------------------------------------------------------------
+
+    /// Record one event in this thread's flight-recorder ring: a relaxed
+    /// flag load, a clock read, and a store into thread-owned memory — no
+    /// locks, no shared cachelines (INTERNALS §10).
+    #[inline]
+    pub(crate) fn flight_push(&self, kind: FlightKind, a: u64, b: u64) {
+        let fl = &self.shared.flight;
+        if !fl.enabled() || fl.is_frozen() {
+            return;
+        }
+        self.flight.borrow_mut().push(FlightEvent {
+            ts_ns: fl.now_ns(),
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// The causal context for a message this thread is about to send:
+    /// inside a traced handler batch every send joins the cascade;
+    /// otherwise the deterministic sampler decides whether this send
+    /// starts a new one. Untraced fast path: two `Cell` reads and one
+    /// store.
+    #[inline]
+    fn trace_for_send(&self) -> TraceCtx {
+        if self.trace_inherit.get() {
+            return self.trace_cur.get();
+        }
+        let gap = self.trace_gap.get();
+        if gap > 1 {
+            self.trace_gap.set(gap - 1);
+            return TraceCtx::NONE;
+        }
+        if gap == 0 {
+            return TraceCtx::NONE; // sampling off (gap pinned at 0)
+        }
+        self.trace_new_root()
+    }
+
+    /// Start a traced cascade at this send. Cold: runs once per
+    /// `trace_sampling` sends on average.
+    #[cold]
+    fn trace_new_root(&self) -> TraceCtx {
+        let i = self.trace_roots.get() + 1;
+        self.trace_roots.set(i);
+        let h = mix64(
+            self.shared.trace_seed ^ ((self.rank as u64) << 40) ^ ((self.thread as u64) << 32) ^ i,
+        );
+        // Next root after a seeded gap uniform in [1, 2n-1] — mean n,
+        // and pinned at 1 when n == 1 so full sampling traces every send.
+        let n = self.shared.cfg.trace_sampling;
+        self.trace_gap.set(mix64(h) % (2 * n - 1) + 1);
+        MachineStats::bump(&self.shared.stats.trace_roots, 1);
+        TraceCtx {
+            root: h.max(1),
+            event: 0,
+            parent: 0,
+            depth: 0,
+        }
+    }
+
+    /// Ship one envelope from this thread: assign its causal event id when
+    /// traced, record the flight/flow events, and hand it to the transport
+    /// boundary. All envelope ships go through here (the coalescing layer
+    /// calls back into it), so the flight recorder sees every one.
+    pub(crate) fn ship_envelope(&self, dest: RankId, mut env: Envelope) {
+        if env.trace.is_traced() {
+            let eid = self.shared.trace_eid.fetch_add(1, Relaxed) + 1;
+            env.trace.event = eid;
+            self.flight_push(FlightKind::TraceShip, eid, env.trace.parent);
+            if let Some(rec) = &self.shared.obs {
+                // Zero-duration ship marker carrying the outgoing flow id:
+                // the Chrome exporter draws the cross-rank arrow from here
+                // into the receiving handler span.
+                rec.record(SpanRecord {
+                    kind: SpanKind::Transport,
+                    name: "env.ship",
+                    rank: self.rank,
+                    thread: self.thread,
+                    start_ns: rec.now_ns(),
+                    dur_ns: 0,
+                    epoch: self.shared.completed_epoch.load(SeqCst) + 1,
+                    arg0: env.type_id as u64,
+                    arg1: env.count as u64,
+                    flow_in: 0,
+                    flow_out: eid,
+                });
+            }
+        }
+        self.flight_push(
+            FlightKind::EnvShip,
+            ((env.type_id as u64) << 32) | env.count as u64,
+            dest as u64,
+        );
+        deliver(&self.shared, self.rank, dest, env);
     }
 
     // ------------------------------------------------------------------
@@ -1071,6 +1372,7 @@ impl AmCtx {
         self.presize_locals();
         // First rank past the entry barrier stamps the epoch's start time.
         self.shared.epoch_prof.enter();
+        self.flight_push(FlightKind::EpochEnter, my_gen, 0);
         let epoch_span = self.shared.obs.as_ref().map(|rec| {
             SpanGuard::begin(
                 rec,
@@ -1091,6 +1393,7 @@ impl AmCtx {
             TerminationMode::FourCounterWave => self.finish_epoch_wave(my_gen, entered),
         }
 
+        self.flight_push(FlightKind::EpochExit, my_gen, 0);
         self.shared.epoch_active.fetch_sub(1, SeqCst);
         self.in_epoch.set(false);
         self.epoch_entered_at.set(None);
@@ -1194,6 +1497,7 @@ impl AmCtx {
         if h2 != s1 || s2 != s1 {
             return false;
         }
+        self.flight_push(FlightKind::TermVote, my_gen, 0);
         self.shared.completed_epoch.fetch_max(my_gen, SeqCst);
         true
     }
@@ -1222,7 +1526,25 @@ impl AmCtx {
 
     pub(crate) fn handle_envelope(&self, env: Envelope) {
         let (type_id, count) = (env.type_id, env.count);
+        let trace = env.trace;
         let payload = env.payload;
+        let packed = ((type_id as u64) << 32) | count as u64;
+        self.flight_push(FlightKind::HandlerEnter, packed, trace.event);
+        // While a traced envelope's batch executes, every send this thread
+        // makes joins the cascade: root carried through, the envelope's
+        // event id as parent, depth + 1. Saved/restored (not just cleared)
+        // because epoch_flush can nest handler execution under a traced
+        // handler already on this thread's stack.
+        let (prev_inherit, prev_cur) = (self.trace_inherit.get(), self.trace_cur.get());
+        if trace.is_traced() {
+            self.trace_inherit.set(true);
+            self.trace_cur.set(TraceCtx {
+                root: trace.root,
+                event: 0,
+                parent: trace.event,
+                depth: trace.depth + 1,
+            });
+        }
         let run = || {
             // Frozen-table dispatch: no lock unless this thread's snapshot
             // predates the type's registration (worker cold start).
@@ -1245,11 +1567,18 @@ impl AmCtx {
                         epoch: self.shared.completed_epoch.load(SeqCst) + 1,
                         arg0: type_id as u64,
                         arg1: count as u64,
+                        flow_in: trace.event,
+                        flow_out: 0,
                     });
                 }
             }
         };
-        if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(run)) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(run));
+        if trace.is_traced() {
+            self.trace_inherit.set(prev_inherit);
+            self.trace_cur.set(prev_cur);
+        }
+        if let Err(payload) = result {
             if !payload.is::<Abort>() {
                 let type_name = self
                     .shared
@@ -1258,6 +1587,16 @@ impl AmCtx {
                     .get(type_id as usize)
                     .map(|t| t.name.clone())
                     .unwrap_or_default();
+                // Cause before fail: fail() freezes the flight rings, and
+                // the cause is what the post-mortem's causal chain hangs
+                // off.
+                self.shared.record_fail_cause(FailCause {
+                    rank: self.rank,
+                    epoch: self.shared.current_epoch_hint(),
+                    type_id,
+                    type_name: type_name.clone(),
+                    trace,
+                });
                 self.shared.fail(
                     MachineError::HandlerPanicked {
                         rank: self.rank,
@@ -1272,6 +1611,7 @@ impl AmCtx {
             // rank supervisor recognizes the sentinel.
             std::panic::resume_unwind(Box::new(Abort));
         }
+        self.flight_push(FlightKind::HandlerExit, packed, trace.event);
     }
 
     /// Ship all of this thread's non-empty coalescing buffers. Returns the
@@ -1286,7 +1626,7 @@ impl AmCtx {
         let mut shipped = 0;
         let mut bufs = self.bufs.borrow_mut();
         for slot in bufs.iter_mut().flatten() {
-            shipped += slot.flush_all(&self.shared, self.rank);
+            shipped += slot.flush_all(self);
         }
         shipped
     }
@@ -1570,6 +1910,7 @@ impl AmCtx {
                 let h = shared.total_handled();
                 let s = shared.total_sent();
                 if h == s {
+                    self.flight_push(FlightKind::TermVote, my_gen, rounds);
                     shared.completed_epoch.fetch_max(my_gen, SeqCst);
                     break;
                 }
@@ -1655,6 +1996,7 @@ impl AmCtx {
                     // Wave returned with machine totals.
                     let cur = (sent, handled);
                     if sent == handled && prev_wave == Some(cur) {
+                        self.flight_push(FlightKind::TermVote, my_gen, tokens_seen);
                         for r in 1..n {
                             shared.push_token(r, Token::Terminate);
                         }
@@ -1664,6 +2006,7 @@ impl AmCtx {
                     prev_wave = Some(cur);
                     wave_in_flight = false;
                 } else {
+                    self.flight_push(FlightKind::TermVote, my_gen, tokens_seen);
                     let tok = Token::Wave {
                         wave,
                         sent: sent + me.sent.load(SeqCst),

@@ -111,17 +111,30 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
-    /// (0 when empty). A log-bucketed approximation: correct to within 2x.
+    /// (0 when empty; `NaN` is treated as 0). A log-bucketed
+    /// approximation: correct to within 2x. `q = 0.0` returns the
+    /// smallest occupied bucket's bound, `q = 1.0` the largest's — the
+    /// sample extremes at bucket resolution, never a bound no sample
+    /// reached.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // Rank of the sample we want, 1-based. Clamp keeps q=0.0 at the
+        // first sample and rounds q=1.0 down from any float overshoot.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
-            if seen >= target.max(1) {
-                return if i == 0 { 0 } else { 1u64 << i };
+            if seen >= target {
+                // Bucket 64 holds values with bit length 64, whose upper
+                // bound saturates at u64::MAX (1 << 64 would overflow).
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => 1u64 << i,
+                };
             }
         }
         u64::MAX
@@ -199,6 +212,14 @@ pub struct SpanRecord {
     pub arg0: u64,
     /// Second untyped argument (kind-specific).
     pub arg1: u64,
+    /// Causal-trace event id this span *consumes* (0 = none): the traced
+    /// envelope whose delivery started this span. Exported as a Chrome
+    /// flow-event terminus so cross-rank cascades render as connected
+    /// arrows (see [`crate::trace`]).
+    pub flow_in: u64,
+    /// Causal-trace event id this span *produces* (0 = none): the traced
+    /// envelope this span shipped. Exported as a Chrome flow-event origin.
+    pub flow_out: u64,
 }
 
 /// The span/event recorder: one bounded span buffer per rank plus
@@ -209,7 +230,7 @@ pub struct Recorder {
     base: Instant,
     max_spans_per_rank: usize,
     spans: Vec<Mutex<Vec<SpanRecord>>>,
-    dropped: AtomicU64,
+    dropped: Vec<AtomicU64>,
     /// Per-envelope handler-execution latency, nanoseconds.
     pub handler_ns: LogHistogram,
     /// Messages per delivered envelope (the realized coalescing factor
@@ -223,7 +244,7 @@ impl Recorder {
             base: Instant::now(),
             max_spans_per_rank,
             spans: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
-            dropped: AtomicU64::new(0),
+            dropped: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             handler_ns: LogHistogram::default(),
             envelope_sizes: LogHistogram::default(),
         }
@@ -240,15 +261,20 @@ impl Recorder {
     pub fn record(&self, span: SpanRecord) {
         let mut buf = self.spans[span.rank].lock();
         if buf.len() >= self.max_spans_per_rank {
-            self.dropped.fetch_add(1, Relaxed);
+            self.dropped[span.rank].fetch_add(1, Relaxed);
             return;
         }
         buf.push(span);
     }
 
-    /// Spans dropped because a rank's buffer was full.
+    /// Spans dropped across all ranks because a buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Relaxed)
+        self.dropped.iter().map(|d| d.load(Relaxed)).sum()
+    }
+
+    /// Spans dropped on one rank because its buffer was full.
+    pub fn dropped_of(&self, rank: RankId) -> u64 {
+        self.dropped[rank].load(Relaxed)
     }
 
     /// Copy of one rank's spans, in recording order.
@@ -278,6 +304,7 @@ pub struct SpanGuard<'a> {
     epoch: u64,
     arg0: u64,
     arg1: u64,
+    flow_in: u64,
     t0: Instant,
     start_ns: u64,
 }
@@ -300,6 +327,7 @@ impl<'a> SpanGuard<'a> {
             epoch,
             arg0: 0,
             arg1: 0,
+            flow_in: 0,
             t0: Instant::now(),
             start_ns: rec.now_ns(),
         }
@@ -331,6 +359,8 @@ impl Drop for SpanGuard<'_> {
             epoch: self.epoch,
             arg0: self.arg0,
             arg1: self.arg1,
+            flow_in: self.flow_in,
+            flow_out: 0,
         });
     }
 }
@@ -341,7 +371,7 @@ impl Drop for SpanGuard<'_> {
 
 /// Machine-wide counter deltas and wall time for one completed epoch —
 /// the per-phase unit the paper's Figs. 5–6 argue from.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochProfile {
     /// 1-indexed epoch generation.
     pub epoch: u64,
@@ -352,6 +382,12 @@ pub struct EpochProfile {
     /// over this epoch (its `epochs` field counts per-rank completions,
     /// i.e. equals the rank count for a normal epoch).
     pub delta: StatsSnapshot,
+    /// Algorithm-level convergence gauges published during the epoch via
+    /// [`AmCtx::gauge`](crate::AmCtx::gauge) (frontier sizes, relaxation
+    /// counts, bucket indices — whatever the strategy layer observes).
+    /// Values published under the same name by any rank are summed; the
+    /// list is sorted by name so it is identical on every rank.
+    pub gauges: Vec<(&'static str, f64)>,
 }
 
 impl EpochProfile {
@@ -381,6 +417,15 @@ impl EpochProfile {
             self.delta.reduction_combines as f64 / total as f64
         }
     }
+
+    /// Value of the named convergence gauge, if any rank published it
+    /// during this epoch.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Always-on per-epoch snapshotting state, owned by the machine. The
@@ -397,6 +442,10 @@ pub(crate) struct EpochProfiler {
 struct ProfilerState {
     last: StatsSnapshot,
     start: Option<Instant>,
+    /// Gauges published since the last seal, summed by name and drained
+    /// into the next sealed profile. Kept sorted by name (insertion via
+    /// binary search) so sealed gauge lists are deterministic.
+    pending_gauges: Vec<(&'static str, f64)>,
     profiles: Vec<EpochProfile>,
 }
 
@@ -406,6 +455,18 @@ impl EpochProfiler {
         let mut st = self.state.lock();
         if st.start.is_none() {
             st.start = Some(Instant::now());
+        }
+    }
+
+    /// Publish a convergence gauge into the epoch currently being
+    /// profiled. Values under the same name are summed (each rank
+    /// contributes its share of e.g. the frontier); the sum is drained
+    /// into the next sealed [`EpochProfile`].
+    pub(crate) fn gauge(&self, name: &'static str, value: f64) {
+        let mut st = self.state.lock();
+        match st.pending_gauges.binary_search_by(|(n, _)| n.cmp(&name)) {
+            Ok(i) => st.pending_gauges[i].1 += value,
+            Err(i) => st.pending_gauges.insert(i, (name, value)),
         }
     }
 
@@ -422,10 +483,12 @@ impl EpochProfiler {
         let duration = st.start.take().map(|t| t.elapsed()).unwrap_or_default();
         let delta = current.since(&st.last);
         st.last = current;
+        let gauges = std::mem::take(&mut st.pending_gauges);
         st.profiles.push(EpochProfile {
             epoch: gen,
             duration,
             delta,
+            gauges,
         });
     }
 
@@ -467,6 +530,13 @@ fn fmt_f64(x: f64) -> String {
 /// `"rank N"`), each thread within the rank one timeline row, so a run
 /// reads as one track per rank. Durations use complete (`"X"`) events with
 /// microsecond timestamps; span arguments land in `args`.
+///
+/// Spans carrying causal-trace ids additionally emit *flow events*: a
+/// span with [`flow_out`](SpanRecord::flow_out) starts a flow (`ph:"s"`)
+/// and a span with [`flow_in`](SpanRecord::flow_in) terminates one
+/// (`ph:"f"`, `bp:"e"`), both keyed by the envelope's trace event id —
+/// so a sampled cascade renders as arrows stitching handler spans across
+/// ranks into one connected causal chain.
 pub fn chrome_trace_json(spans: &[SpanRecord], ranks: usize) -> String {
     let mut out = String::with_capacity(128 + spans.len() * 160);
     out.push_str("{\"traceEvents\":[");
@@ -491,6 +561,8 @@ pub fn chrome_trace_json(spans: &[SpanRecord], ranks: usize) -> String {
     for s in spans {
         let mut name = String::new();
         json_escape(s.name, &mut name);
+        let mut cat = String::new();
+        json_escape(s.kind.category(), &mut cat);
         push_event(
             &mut out,
             &mut first,
@@ -498,7 +570,6 @@ pub fn chrome_trace_json(spans: &[SpanRecord], ranks: usize) -> String {
                 "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
                  \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":{tid},\
                  \"args\":{{\"epoch\":{epoch},\"arg0\":{a0},\"arg1\":{a1}}}}}",
-                cat = s.kind.category(),
                 ts = s.start_ns as f64 / 1e3,
                 dur = s.dur_ns as f64 / 1e3,
                 pid = s.rank,
@@ -508,6 +579,37 @@ pub fn chrome_trace_json(spans: &[SpanRecord], ranks: usize) -> String {
                 a1 = s.arg1,
             ),
         );
+        // Flow events bind to the enclosing slice by timestamp: the start
+        // ("s") sits at the producing span's start, the terminus ("f" with
+        // bp:"e" = bind to enclosing slice) at the consuming span's start.
+        if s.flow_out != 0 {
+            push_event(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"causal\",\"cat\":\"trace\",\"ph\":\"s\",\
+                     \"id\":{id},\"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid}}}",
+                    id = s.flow_out,
+                    ts = s.start_ns as f64 / 1e3,
+                    pid = s.rank,
+                    tid = s.thread,
+                ),
+            );
+        }
+        if s.flow_in != 0 {
+            push_event(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"causal\",\"cat\":\"trace\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{id},\"ts\":{ts:.3},\"pid\":{pid},\"tid\":{tid}}}",
+                    id = s.flow_in,
+                    ts = s.start_ns as f64 / 1e3,
+                    pid = s.rank,
+                    tid = s.thread,
+                ),
+            );
+        }
     }
     out.push_str("]}");
     out
@@ -518,9 +620,9 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
         "{{\"messages_sent\":{},\"envelopes_sent\":{},\"messages_handled\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"reduction_combines\":{},\
          \"reduction_forwards\":{},\"epochs\":{},\"control_tokens\":{},\
-         \"trace_dropped\":{},\"injected_drops\":{},\"injected_dups\":{},\
-         \"injected_delays\":{},\"injected_reorders\":{},\"retransmits\":{},\
-         \"acks\":{},\"dups_suppressed\":{}}}",
+         \"trace_dropped\":{},\"trace_roots\":{},\"injected_drops\":{},\
+         \"injected_dups\":{},\"injected_delays\":{},\"injected_reorders\":{},\
+         \"retransmits\":{},\"acks\":{},\"dups_suppressed\":{}}}",
         s.messages_sent,
         s.envelopes_sent,
         s.messages_handled,
@@ -531,6 +633,7 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
         s.epochs,
         s.control_tokens,
         s.trace_dropped,
+        s.trace_roots,
         s.injected_drops,
         s.injected_dups,
         s.injected_delays,
@@ -557,6 +660,10 @@ pub struct MetricsReport {
     pub per_type: Vec<TypeStatSnapshot>,
     /// One profile per completed epoch, in order.
     pub epoch_profiles: Vec<EpochProfile>,
+    /// Spans dropped per rank by the span recorder (buffer at capacity);
+    /// empty when profiling is off. A nonzero entry means that rank's
+    /// trace is truncated.
+    pub spans_dropped: Vec<u64>,
 }
 
 impl MetricsReport {
@@ -577,6 +684,13 @@ impl MetricsReport {
                 t.sent, t.handled
             ));
         }
+        out.push_str("],\"spans_dropped\":[");
+        for (i, d) in self.spans_dropped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
         out.push_str("],\"epochs\":[");
         for (i, p) in self.epoch_profiles.iter().enumerate() {
             if i > 0 {
@@ -584,13 +698,22 @@ impl MetricsReport {
             }
             out.push_str(&format!(
                 "{{\"epoch\":{},\"duration_us\":{:.3},\"coalescing_factor\":{},\
-                 \"cache_hit_rate\":{},\"reduction_combine_rate\":{},\"delta\":",
+                 \"cache_hit_rate\":{},\"reduction_combine_rate\":{},\"gauges\":{{",
                 p.epoch,
                 p.duration.as_secs_f64() * 1e6,
                 fmt_f64(p.coalescing_factor()),
                 fmt_f64(p.cache_hit_rate()),
                 fmt_f64(p.reduction_combine_rate()),
             ));
+            for (j, (name, value)) in p.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let mut n = String::new();
+                json_escape(name, &mut n);
+                out.push_str(&format!("\"{n}\":{}", fmt_f64(*value)));
+            }
+            out.push_str("},\"delta\":");
             stats_json(&p.delta, &mut out);
             out.push('}');
         }
@@ -629,6 +752,33 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_edges_stay_within_occupied_buckets() {
+        let h = LogHistogram::default();
+        h.record(5); // bucket 3: [4, 8)
+        h.record(100); // bucket 7: [64, 128)
+        let s = h.snapshot();
+        // q=0.0 is the smallest sample's bucket bound, not 0.
+        assert_eq!(s.quantile(0.0), 8);
+        // q=1.0 is the largest sample's bucket bound, not u64::MAX.
+        assert_eq!(s.quantile(1.0), 128);
+        // Out-of-range and NaN inputs clamp instead of panicking.
+        assert_eq!(s.quantile(-3.0), 8);
+        assert_eq!(s.quantile(7.0), 128);
+        assert_eq!(s.quantile(f64::NAN), 8);
+    }
+
+    #[test]
+    fn quantile_handles_top_bucket_without_overflow() {
+        let h = LogHistogram::default();
+        h.record(u64::MAX); // bit length 64: the 1u64 << 64 overflow trap
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), u64::MAX);
+        assert_eq!(s.quantile(1.0), u64::MAX);
     }
 
     #[test]
@@ -645,10 +795,13 @@ mod tests {
                 epoch: 0,
                 arg0: 0,
                 arg1: 0,
+                flow_in: 0,
+                flow_out: 0,
             });
         }
         assert_eq!(rec.spans_of(0).len(), 2);
         assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.dropped_of(0), 3);
     }
 
     #[test]
@@ -682,6 +835,8 @@ mod tests {
             epoch: 1,
             arg0: 7,
             arg1: 0,
+            flow_in: 0,
+            flow_out: 0,
         }];
         let json = chrome_trace_json(&spans, 2);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -690,6 +845,71 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ts\":2.500"));
         assert!(json.contains("\"cat\":\"epoch\""));
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_events_for_traced_spans() {
+        let mut ship = SpanRecord {
+            kind: SpanKind::Transport,
+            name: "env.ship",
+            rank: 0,
+            thread: 0,
+            start_ns: 1_000,
+            dur_ns: 0,
+            epoch: 1,
+            arg0: 0,
+            arg1: 0,
+            flow_in: 0,
+            flow_out: 42,
+        };
+        let handler = SpanRecord {
+            kind: SpanKind::Handler,
+            name: "handler",
+            rank: 1,
+            thread: 0,
+            start_ns: 2_000,
+            dur_ns: 500,
+            epoch: 1,
+            arg0: 0,
+            arg1: 0,
+            flow_in: 42,
+            flow_out: 0,
+        };
+        let json = chrome_trace_json(&[ship, handler], 2);
+        assert!(
+            json.contains("\"ph\":\"s\",\"id\":42"),
+            "flow start missing: {json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":42"),
+            "flow terminus missing: {json}"
+        );
+        // Untraced spans emit no flow events.
+        ship.flow_out = 0;
+        let plain = chrome_trace_json(&[ship], 1);
+        assert!(!plain.contains("\"ph\":\"s\""), "{plain}");
+        assert!(!plain.contains("\"ph\":\"f\""), "{plain}");
+    }
+
+    #[test]
+    fn epoch_gauges_sum_by_name_and_drain_at_seal() {
+        let p = EpochProfiler::default();
+        p.enter();
+        p.gauge("frontier", 10.0);
+        p.gauge("frontier", 7.0);
+        p.gauge("bucket", 3.0);
+        p.seal(1, StatsSnapshot::default());
+        p.enter();
+        p.seal(2, StatsSnapshot::default());
+        let profiles = p.profiles();
+        assert_eq!(profiles[0].gauge("frontier"), Some(17.0));
+        assert_eq!(profiles[0].gauge("bucket"), Some(3.0));
+        assert_eq!(profiles[0].gauge("missing"), None);
+        // Drained: the second epoch starts clean.
+        assert!(profiles[1].gauges.is_empty());
+        // Sorted by name for cross-rank determinism.
+        assert_eq!(profiles[0].gauges[0].0, "bucket");
+        assert_eq!(profiles[0].gauges[1].0, "frontier");
     }
 
     #[test]
@@ -714,12 +934,16 @@ mod tests {
                     envelopes_sent: 2,
                     ..Default::default()
                 },
+                gauges: vec![("frontier", 17.0)],
             }],
+            spans_dropped: vec![0, 3],
         };
         let json = report.to_json();
         assert!(json.contains("\"ranks\":2"));
         assert!(json.contains("a\\\"b"), "{json}");
         assert!(json.contains("\"coalescing_factor\":2.000000"));
+        assert!(json.contains("\"spans_dropped\":[0,3]"), "{json}");
+        assert!(json.contains("\"frontier\":17.000000"), "{json}");
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -43,6 +43,10 @@ pub struct MachineStats {
     /// [`crate::MachineConfig::trace`]). Nonzero means `AmCtx::trace` is a
     /// suffix of the run, not the whole run.
     pub trace_dropped: AtomicU64,
+    /// Causal-trace cascades started by the deterministic sampler (see
+    /// [`crate::MachineConfig::trace_sampling`]). Each root seeds one
+    /// traced message cascade whose envelopes carry trace ids.
+    pub trace_roots: AtomicU64,
     /// Envelope transmissions suppressed by the fault layer (the packet
     /// was "lost on the wire" and sits in the sender's retransmit buffer).
     pub injected_drops: AtomicU64,
@@ -81,6 +85,7 @@ impl MachineStats {
             epochs: self.epochs.load(Ordering::SeqCst),
             control_tokens: self.control_tokens.load(Ordering::SeqCst),
             trace_dropped: self.trace_dropped.load(Ordering::SeqCst),
+            trace_roots: self.trace_roots.load(Ordering::SeqCst),
             injected_drops: self.injected_drops.load(Ordering::SeqCst),
             injected_dups: self.injected_dups.load(Ordering::SeqCst),
             injected_delays: self.injected_delays.load(Ordering::SeqCst),
@@ -157,6 +162,8 @@ pub struct StatsSnapshot {
     pub control_tokens: u64,
     /// Trace events evicted from the bounded envelope trace ring.
     pub trace_dropped: u64,
+    /// Causal-trace cascades started by the deterministic sampler.
+    pub trace_roots: u64,
     /// Envelope transmissions dropped by the fault layer.
     pub injected_drops: u64,
     /// Duplicate envelope transmissions injected by the fault layer.
@@ -216,6 +223,7 @@ impl StatsSnapshot {
             epochs: self.epochs.saturating_sub(earlier.epochs),
             control_tokens: self.control_tokens.saturating_sub(earlier.control_tokens),
             trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+            trace_roots: self.trace_roots.saturating_sub(earlier.trace_roots),
             injected_drops: self.injected_drops.saturating_sub(earlier.injected_drops),
             injected_dups: self.injected_dups.saturating_sub(earlier.injected_dups),
             injected_delays: self.injected_delays.saturating_sub(earlier.injected_delays),

@@ -208,3 +208,46 @@ fn counters_exact_under_chaos_wave_mode() {
         );
     }
 }
+
+// Causal tracing at full sampling + flight-recorder rings + span recorder,
+// all under chaos: the observability paths (trace-context stamping on
+// every envelope, thread-local ring pushes, span records) must never
+// perturb the published sent/handled/layer totals.
+#[test]
+fn counters_exact_with_tracing_and_flight_under_chaos() {
+    for seed in seeds() {
+        run_workload(
+            base_cfg(TerminationMode::SharedCounters)
+                .trace_sampling(1)
+                .flight(256)
+                .profile(true)
+                .faults(FaultPlan::chaos(seed)),
+            true,
+        );
+    }
+}
+
+#[test]
+fn counters_exact_with_tracing_and_flight_wave_mode() {
+    for seed in seeds() {
+        run_workload(
+            base_cfg(TerminationMode::FourCounterWave)
+                .trace_sampling(1)
+                .flight(256)
+                .faults(FaultPlan::chaos(seed)),
+            true,
+        );
+    }
+}
+
+// The opposite extreme: every observability surface off. The hot path's
+// sampling/ring branches must behave identically when pinned off.
+#[test]
+fn counters_exact_with_observability_disabled() {
+    run_workload(
+        base_cfg(TerminationMode::SharedCounters)
+            .trace_sampling(0)
+            .flight(0),
+        false,
+    );
+}

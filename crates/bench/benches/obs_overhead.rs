@@ -1,8 +1,10 @@
-//! Overhead of the observability subsystem (`dgp-am::obs`): the same
-//! message-heavy SSSP run with profiling disabled (the default — spans
-//! compile to one `Option` branch), with span recording on, and with
-//! span recording plus a trace ring. The disabled row is the one that
-//! matters: it must stay within noise of the pre-obs runtime.
+//! Overhead of the observability subsystem (`dgp-am::obs` and
+//! `dgp-am::trace`): the same message-heavy SSSP run with every surface
+//! pinned off, with the always-on defaults (flight recorder rings plus
+//! 1-in-64 causal sampling — what every production run pays), with full
+//! causal sampling, with span recording on, and with span recording
+//! plus a trace ring. The "flight" row is the one the ISSUE gates on:
+//! the always-on defaults must stay within a few percent of "off".
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -17,7 +19,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs/overhead");
     g.sample_size(10);
     for (label, cfg) in [
-        ("off", MachineConfig::new(4)),
+        // Every observability surface pinned off — the floor.
+        ("off", MachineConfig::new(4).flight(0).trace_sampling(0)),
+        // The always-on defaults: flight rings + 1-in-64 causal sampling.
+        ("flight", MachineConfig::new(4)),
+        // Causal tracing of every root — the E14/chaos-debug setting.
+        ("flight+fulltrace", MachineConfig::new(4).trace_sampling(1)),
         ("profile", MachineConfig::new(4).profile(true)),
         (
             "profile+trace",

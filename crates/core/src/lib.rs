@@ -31,6 +31,7 @@ pub mod builder;
 pub mod depgraph;
 pub mod engine;
 pub mod ir;
+pub mod obs;
 pub mod pattern;
 pub mod plan;
 pub mod strategies;

@@ -1,0 +1,83 @@
+//! Convergence telemetry: publish strategy-level gauges into the
+//! runtime's per-epoch profiles.
+//!
+//! The paper's evaluation reads convergence off per-phase message counts
+//! (Figs. 5–6); this module adds the *algorithm-level* counterpart — how
+//! big the frontier was, how many relaxations actually changed a value,
+//! which Δ-bucket a phase drained — published into the same
+//! [`EpochProfile`](dgp_am::EpochProfile) stream the runtime already
+//! seals per epoch, and therefore into the metrics-JSON document the
+//! harness exports.
+//!
+//! An [`Observer`] wraps a [`PatternEngine`] and remembers the engine's
+//! counter snapshot at the previous publish, so each publish reports
+//! *deltas* (relaxations this phase, not since the beginning of time).
+//! Publishes must happen **inside** an epoch body — the runtime drains
+//! pending gauges into the profile when the epoch seals, so a publish
+//! after `ctx.epoch(..)` returns would be attributed to the *next* epoch.
+//!
+//! Engine counters are bumped by handler threads for as long as the epoch
+//! runs, so a delta observed mid-epoch is a lower bound for the current
+//! phase; the remainder is reported by the next publish. Frontier sizes
+//! and bucket indices, which the strategy knows exactly, are exact.
+
+use std::cell::Cell;
+
+use dgp_am::AmCtx;
+
+use crate::engine::{EngineStatsSnapshot, PatternEngine};
+
+/// Gauge name for the number of frontier vertices a rank processed in the
+/// phase (summed across ranks in the sealed profile).
+pub const GAUGE_FRONTIER: &str = "frontier";
+/// Gauge name for modifications that changed a property value since the
+/// previous publish (the realized relaxation count; summed across ranks).
+pub const GAUGE_RELAXATIONS: &str = "relaxations";
+/// Gauge name for generator items expanded since the previous publish
+/// (edges/vertices examined; summed across ranks).
+pub const GAUGE_EXPANDED: &str = "expanded";
+/// Gauge name for the Δ-bucket index a phase drained. Published by rank 0
+/// only — the index is globally agreed, and the profile sums per-name, so
+/// a per-rank publish would multiply it by the rank count.
+pub const GAUGE_BUCKET: &str = "bucket";
+
+/// Publishes per-epoch convergence gauges for one engine. One observer
+/// per strategy invocation (it is rank-local state, like the strategy's
+/// own loop variables); see the [module docs](self) for the attribution
+/// semantics.
+pub struct Observer {
+    engine: PatternEngine,
+    last: Cell<EngineStatsSnapshot>,
+}
+
+impl Observer {
+    /// Observe `engine`, baselining its counters so the first publish
+    /// reports only activity from this strategy onward.
+    pub fn new(engine: &PatternEngine) -> Observer {
+        Observer {
+            engine: engine.clone(),
+            last: Cell::new(engine.stats()),
+        }
+    }
+
+    /// Publish the frontier size this rank processed plus the engine's
+    /// relaxation/expansion deltas since the previous publish. Call from
+    /// inside the epoch body.
+    pub fn publish(&self, ctx: &AmCtx, frontier: usize) {
+        let now = self.engine.stats();
+        let d = now.since(&self.last.get());
+        self.last.set(now);
+        ctx.gauge(GAUGE_FRONTIER, frontier as f64);
+        ctx.gauge(GAUGE_RELAXATIONS, d.modifications_changed as f64);
+        ctx.gauge(GAUGE_EXPANDED, d.items_generated as f64);
+    }
+
+    /// [`publish`](Self::publish) plus the Δ-bucket index the phase
+    /// drained (rank 0 publishes the index; see [`GAUGE_BUCKET`]).
+    pub fn publish_bucket(&self, ctx: &AmCtx, bucket: usize, frontier: usize) {
+        self.publish(ctx, frontier);
+        if ctx.rank() == 0 {
+            ctx.gauge(GAUGE_BUCKET, bucket as f64);
+        }
+    }
+}

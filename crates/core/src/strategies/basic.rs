@@ -5,6 +5,7 @@ use dgp_graph::VertexId;
 use std::sync::Arc;
 
 use crate::engine::{ActionId, PatternEngine};
+use crate::obs::Observer;
 
 /// The paper's `fixed_point` strategy:
 ///
@@ -32,10 +33,12 @@ pub fn fixed_point(ctx: &AmCtx, engine: &PatternEngine, action: ActionId, seeds:
             rerun.run_at(hctx, action, v);
         }),
     );
+    let obs = Observer::new(engine);
     ctx.epoch(|ctx| {
         for &v in seeds {
             engine.invoke(ctx, action, v);
         }
+        obs.publish(ctx, seeds.len());
     });
     engine.clear_work_hook(action);
 }
@@ -51,10 +54,12 @@ pub fn once(ctx: &AmCtx, engine: &PatternEngine, action: ActionId, vertices: &[V
         .span(SpanKind::Strategy, "strategy.once")
         .map(|s| s.args(action as u64, vertices.len() as u64));
     let before = engine.stats().modifications_changed;
+    let obs = Observer::new(engine);
     ctx.epoch(|ctx| {
         for &v in vertices {
             engine.invoke(ctx, action, v);
         }
+        obs.publish(ctx, vertices.len());
     });
     let changed_here = engine.stats().modifications_changed > before;
     ctx.any_rank(changed_here)

@@ -10,6 +10,7 @@ use dgp_graph::properties::AtomicVertexMap;
 use dgp_graph::VertexId;
 
 use crate::engine::{ActionId, PatternEngine};
+use crate::obs::Observer;
 use crate::strategies::Buckets;
 
 /// The paper's `delta` strategy:
@@ -77,13 +78,17 @@ pub fn delta_stepping(
             .span(SpanKind::Strategy, "delta.bucket")
             .map(|s| s.args(i as u64, 0));
         let mut rounds = 0u64;
+        let obs = Observer::new(engine);
         // Empty bucket i; handlers may refill it while we drain, so retest
         // collectively after every epoch.
         loop {
             ctx.epoch(|ctx| {
+                let mut popped = 0usize;
                 while let Some(v) = buckets.pop(i) {
+                    popped += 1;
                     engine.run_at(ctx, action, v);
                 }
+                obs.publish_bucket(ctx, i, popped);
             });
             epochs += 1;
             rounds += 1;
@@ -150,16 +155,19 @@ pub fn delta_stepping_split(
         // Phase 1: settle bucket i with light edges only, remembering who
         // was settled.
         let mut settled: Vec<VertexId> = Vec::new();
+        let obs = Observer::new(engine);
         {
             let mut light_span = ctx
                 .span(SpanKind::Strategy, "delta.light")
                 .map(|s| s.args(i as u64, 0));
             loop {
                 ctx.epoch(|ctx| {
+                    let before = settled.len();
                     while let Some(v) = buckets.pop(i) {
                         settled.push(v);
                         engine.run_at(ctx, light, v);
                     }
+                    obs.publish_bucket(ctx, i, settled.len() - before);
                 });
                 epochs += 1;
                 let refilled = ctx.any_rank(!buckets.is_empty_at(i));
@@ -181,6 +189,7 @@ pub fn delta_stepping_split(
             for &v in &settled {
                 engine.run_at(ctx, heavy, v);
             }
+            obs.publish_bucket(ctx, i, settled.len());
         });
         epochs += 1;
     }
@@ -223,14 +232,20 @@ pub fn delta_stepping_async(
 
     let mut attempts = 0;
     let mut async_span = ctx.span(SpanKind::Strategy, "delta.async");
+    let obs = Observer::new(engine);
     ctx.epoch(|ctx| loop {
         // Drain lowest buckets first (the label-correcting order heuristic;
         // any order converges).
+        let mut popped = 0usize;
         while let Some(i) = buckets.first_nonempty_from(0) {
             while let Some(v) = buckets.pop(i) {
+                popped += 1;
                 engine.run_at(ctx, action, v);
             }
         }
+        // The whole run is one epoch, so successive publishes accumulate
+        // into that epoch's single profile.
+        obs.publish(ctx, popped);
         // Out of local work: try to end the epoch (contract: only called
         // with empty local buckets).
         attempts += 1;

@@ -252,7 +252,10 @@ fn profiled_sssp() -> (Vec<f64>, Vec<f64>, String, String) {
     let oracle = seq::dijkstra(&el, 0);
     let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), RANKS), false);
     let weights = EdgeMap::from_weights(&graph, &el);
-    let mut out = Machine::run(MachineConfig::new(RANKS).profile(true), move |ctx| {
+    // Full causal sampling so every envelope ships with a trace id — the
+    // flow-event round-trip below must see a stitched cascade.
+    let cfg = MachineConfig::new(RANKS).profile(true).trace_sampling(1);
+    let mut out = Machine::run(cfg, move |ctx| {
         let s = Sssp::install(ctx, &graph, &weights, EngineConfig::default());
         s.run(ctx, 0, SsspStrategy::Delta(0.5));
         let dist = s.dist.snapshot();
@@ -323,6 +326,84 @@ fn chrome_trace_export_is_valid_and_complete() {
             "missing span {expected:?}: {names:?}"
         );
     }
+}
+
+#[test]
+fn chrome_trace_flow_events_round_trip() {
+    let (_, _, trace, _) = profiled_sssp();
+    let doc = Parser::parse(&trace);
+    let events = doc.get("traceEvents").unwrap().as_arr();
+
+    // Collect flow starts ("s", at the shipping rank) and termini ("f",
+    // at the handling rank). Ids are the envelopes' causal event ids.
+    let mut starts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut ends: BTreeMap<u64, f64> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").map(Json::as_str);
+        if ph != Some("s") && ph != Some("f") {
+            continue;
+        }
+        assert_eq!(e.get("name").unwrap().as_str(), "causal");
+        assert_eq!(e.get("cat").unwrap().as_str(), "trace");
+        let id = e.get("id").unwrap().as_num() as u64;
+        let ts = e.get("ts").unwrap().as_num();
+        if ph == Some("s") {
+            let prev = starts.insert(id, ts);
+            assert!(prev.is_none(), "flow id {id} started twice");
+        } else {
+            assert_eq!(
+                e.get("bp").map(Json::as_str),
+                Some("e"),
+                "flow terminus must bind to the enclosing slice"
+            );
+            ends.insert(id, ts);
+        }
+    }
+    assert!(!starts.is_empty(), "full sampling must produce flow events");
+    // Every consumed flow was produced, and delivery follows shipment on
+    // the shared clock — the arrows point forward in time.
+    for (id, end_ts) in &ends {
+        let start_ts = starts
+            .get(id)
+            .unwrap_or_else(|| panic!("flow {id} consumed but never produced"));
+        assert!(
+            end_ts >= start_ts,
+            "flow {id} travels backwards in time ({start_ts} -> {end_ts})"
+        );
+    }
+}
+
+#[test]
+fn metrics_json_carries_gauges_and_spans_dropped() {
+    let (_, _, _, metrics) = profiled_sssp();
+    let doc = Parser::parse(&metrics);
+    // Per-rank dropped-span counts: one entry per rank when profiling.
+    let dropped = doc.get("spans_dropped").unwrap().as_arr();
+    assert_eq!(dropped.len(), RANKS);
+    // Δ-stepping publishes convergence gauges into each drained epoch.
+    let epochs = doc.get("epochs").unwrap().as_arr();
+    let gauged: Vec<_> = epochs
+        .iter()
+        .filter_map(|e| e.get("gauges"))
+        .filter(|g| g.get("frontier").is_some())
+        .collect();
+    assert!(
+        !gauged.is_empty(),
+        "no epoch carries a frontier gauge: {metrics}"
+    );
+    for g in &gauged {
+        assert!(g.get("relaxations").is_some());
+        assert!(g.get("expanded").is_some());
+        // The frontier summed across ranks is a vertex count.
+        assert!(g.get("frontier").unwrap().as_num() >= 0.0);
+    }
+    assert!(
+        epochs
+            .iter()
+            .filter_map(|e| e.get("gauges"))
+            .any(|g| g.get("bucket").is_some()),
+        "Δ-stepping must report which bucket a phase drained"
+    );
 }
 
 #[test]
