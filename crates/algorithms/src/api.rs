@@ -3,9 +3,10 @@
 //! for fine-grained control (strategies, engine configs, statistics) use
 //! the per-algorithm modules inside your own [`dgp_am::Machine::run`].
 
-use dgp_am::{EpochProfile, Machine, MachineConfig};
+use dgp_am::{EpochProfile, Machine, MachineConfig, SimPlan, SimReport};
 use dgp_graph::properties::EdgeMap;
 use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
+use parking_lot::Mutex;
 
 use crate::sssp::SsspStrategy;
 
@@ -101,6 +102,149 @@ pub fn run_cc_cfg_stats(el: &EdgeList, cfg: MachineConfig) -> (Vec<u64>, dgp_am:
         (ctx.rank() == 0).then(|| (c.snapshot(), ctx.stats()))
     });
     out[0].take().expect("rank 0 reports")
+}
+
+/// [`run_sssp_cfg`] under the deterministic discrete-event simulator
+/// ([`dgp_am::Machine::run_sim`]): modeled links, seeded schedule, exact
+/// reproducibility at thousands of ranks. Installs a mid-run
+/// `InvariantChecker` that validates, at every checkpoint the plan's
+/// cadence selects, that tentative distances (a) never drop below the
+/// true shortest distance (precomputed with sequential Dijkstra) and
+/// (b) are monotone non-increasing over virtual time. A violation fails
+/// the run as [`dgp_am::MachineError::InvariantViolated`] with the
+/// offending vertex in the detail string.
+pub fn run_sssp_sim(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    plan: SimPlan,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> Result<(Vec<f64>, SimReport), Box<dgp_am::SimError>> {
+    let ranks = cfg.ranks;
+    let truth = crate::seq::dijkstra(el, source);
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let run = Machine::run_sim(cfg, plan, move |ctx| {
+        let s = crate::sssp::Sssp::install(
+            ctx,
+            &graph,
+            &weights,
+            dgp_core::engine::EngineConfig::default(),
+        );
+        if ctx.rank() == 0 {
+            let map = s.dist.clone();
+            let truth = truth.clone();
+            let prev = Mutex::new(vec![f64::INFINITY; truth.len()]);
+            ctx.sim_invariant(move |_ic| {
+                let snap = map.snapshot();
+                let mut prev = prev.lock();
+                for (v, (&d, &t)) in snap.iter().zip(&truth).enumerate() {
+                    if d < t - 1e-9 {
+                        return Err(format!(
+                            "dist[{v}] = {d} undercuts true shortest distance {t}"
+                        ));
+                    }
+                    if d > prev[v] + 1e-9 {
+                        return Err(format!("dist[{v}] increased: {} -> {d}", prev[v]));
+                    }
+                }
+                prev.copy_from_slice(&snap);
+                Ok(())
+            });
+        }
+        s.run(ctx, source, strategy);
+        (ctx.rank() == 0).then(|| s.dist.snapshot())
+    })?;
+    let mut results = run.results;
+    Ok((results[0].take().expect("rank 0 reports"), run.report))
+}
+
+/// [`run_cc_cfg`] under the deterministic simulator, with a mid-run
+/// invariant: component labels start unwritten (`u64::MAX`), only ever
+/// decrease, and never drop below the true minimum vertex id of the
+/// component (precomputed with union-find).
+pub fn run_cc_sim(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    plan: SimPlan,
+) -> Result<(Vec<u64>, SimReport), Box<dgp_am::SimError>> {
+    let ranks = cfg.ranks;
+    let mut sym = el.clone();
+    sym.weights = None;
+    sym.symmetrize();
+    let truth = crate::seq::cc_labels(&sym);
+    let dist = Distribution::block(sym.num_vertices(), ranks);
+    let graph = DistGraph::build(&sym, dist, false);
+    let run = Machine::run_sim(cfg, plan, move |ctx| {
+        let c = crate::cc::Cc::install(ctx, &graph, dgp_core::engine::EngineConfig::default());
+        if ctx.rank() == 0 {
+            let map = c.comp.clone();
+            let truth = truth.clone();
+            let prev = Mutex::new(Vec::<u64>::new());
+            ctx.sim_invariant(move |_ic| {
+                let snap = map.snapshot();
+                let mut prev = prev.lock();
+                if prev.is_empty() {
+                    *prev = vec![u64::MAX; snap.len()];
+                }
+                for (v, (&l, &t)) in snap.iter().zip(&truth).enumerate() {
+                    if l < t {
+                        return Err(format!(
+                            "label[{v}] = {l} undercuts the component minimum {t}"
+                        ));
+                    }
+                    if l > prev[v] {
+                        return Err(format!("label[{v}] increased: {} -> {l}", prev[v]));
+                    }
+                }
+                prev.copy_from_slice(&snap);
+                Ok(())
+            });
+        }
+        c.run(ctx);
+        (ctx.rank() == 0).then(|| c.comp.snapshot())
+    })?;
+    let mut results = run.results;
+    Ok((results[0].take().expect("rank 0 reports"), run.report))
+}
+
+/// [`run_pagerank_cfg`] under the deterministic simulator, with a
+/// mid-run invariant: every tentative rank value stays finite and
+/// non-negative at every checkpoint.
+pub fn run_pagerank_sim(
+    el: &EdgeList,
+    cfg: MachineConfig,
+    plan: SimPlan,
+    damping: f64,
+    iterations: usize,
+) -> Result<(Vec<f64>, SimReport), Box<dgp_am::SimError>> {
+    let ranks = cfg.ranks;
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let run = Machine::run_sim(cfg, plan, move |ctx| {
+        let p = crate::pagerank::PageRank::install(
+            ctx,
+            &graph,
+            damping,
+            dgp_core::engine::EngineConfig::default(),
+        );
+        if ctx.rank() == 0 {
+            let map = p.rank.clone();
+            ctx.sim_invariant(move |_ic| {
+                for (v, x) in map.snapshot().into_iter().enumerate() {
+                    if !x.is_finite() || x < -1e-12 {
+                        return Err(format!("rank[{v}] = {x} is not a probability mass"));
+                    }
+                }
+                Ok(())
+            });
+        }
+        p.run(ctx, iterations);
+        (ctx.rank() == 0).then(|| p.rank.snapshot())
+    })?;
+    let mut results = run.results;
+    Ok((results[0].take().expect("rank 0 reports"), run.report))
 }
 
 /// Distributed BFS levels (`u64::MAX` = unreached).

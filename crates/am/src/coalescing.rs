@@ -23,6 +23,7 @@
 //! receiver's free list is full).
 
 use std::any::Any;
+use std::collections::BTreeMap;
 
 use crate::machine::{AmCtx, Envelope, RankId};
 use crate::trace::TraceCtx;
@@ -30,6 +31,36 @@ use crate::trace::TraceCtx;
 /// Most spare batch boxes a [`TypedBuffers`] retains; beyond this,
 /// recycled boxes are dropped (bounds memory on asymmetric flows).
 const MAX_SPARES: usize = 16;
+
+/// Rank count at and above which [`TypedBuffers`] switches from a dense
+/// one-slot-per-destination vector to a sparse map of touched
+/// destinations. Dense slots cost every thread `ranks` vector headers
+/// *per message type* — at thousands of simulated ranks that is
+/// quadratic in machine size and dominates memory; graph workloads touch
+/// only each rank's neighbors, so the sparse map stays small. Below the
+/// threshold the dense path is untouched (same layout, same code path).
+const SPARSE_THRESHOLD: usize = 1024;
+
+/// Per-destination pending buffers: one `(batch, causal-context)` slot
+/// per destination, dense or sparse by machine size. Iteration order is
+/// ascending destination rank in both representations, so flush order —
+/// and therefore every downstream sequence number and simulator event —
+/// is identical across the two.
+enum DestStore<T> {
+    Dense(Vec<(Vec<T>, TraceCtx)>),
+    Sparse(BTreeMap<RankId, (Vec<T>, TraceCtx)>),
+}
+
+impl<T> DestStore<T> {
+    fn slot_mut(&mut self, dest: RankId) -> &mut (Vec<T>, TraceCtx) {
+        match self {
+            DestStore::Dense(v) => &mut v[dest],
+            DestStore::Sparse(m) => m
+                .entry(dest)
+                .or_insert_with(|| (Vec::new(), TraceCtx::NONE)),
+        }
+    }
+}
 
 /// Type-erased per-type coalescing buffers, one slot per destination rank.
 pub(crate) trait ErasedBuffers: Any {
@@ -58,13 +89,12 @@ fn clone_payload<T: Clone + Send + 'static>(p: &(dyn Any + Send)) -> Box<dyn Any
 pub(crate) struct TypedBuffers<T: Clone + Send + 'static> {
     type_id: u32,
     capacity: usize,
-    per_dest: Vec<Vec<T>>,
-    /// Causal context attached to each destination's pending batch: the
-    /// context of the *first traced* message coalesced into it
+    /// Pending batch + causal context per destination. The context is
+    /// that of the *first traced* message coalesced into the batch
     /// ([`TraceCtx::NONE`] when no pending message is traced). Coalescing
     /// merges causality — one envelope, one attribution — which is the
     /// granularity the transport actually ships at.
-    trace_per_dest: Vec<TraceCtx>,
+    store: DestStore<T>,
     /// Drained batch boxes recycled by the handler loop, reused by the
     /// next flush so steady state ships envelopes without allocating.
     /// The box is not gratuitous: envelope payloads cross a
@@ -76,11 +106,15 @@ pub(crate) struct TypedBuffers<T: Clone + Send + 'static> {
 
 impl<T: Clone + Send + 'static> TypedBuffers<T> {
     pub(crate) fn new(type_id: u32, capacity: usize, ranks: usize) -> Self {
+        let store = if ranks >= SPARSE_THRESHOLD {
+            DestStore::Sparse(BTreeMap::new())
+        } else {
+            DestStore::Dense((0..ranks).map(|_| (Vec::new(), TraceCtx::NONE)).collect())
+        };
         TypedBuffers {
             type_id,
             capacity,
-            per_dest: (0..ranks).map(|_| Vec::new()).collect(),
-            trace_per_dest: vec![TraceCtx::NONE; ranks],
+            store,
             spares: Vec::new(),
         }
     }
@@ -91,15 +125,16 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
     /// before it becomes receivable. Returns whether an envelope was
     /// shipped.
     pub(crate) fn push(&mut self, ctx: &AmCtx, dest: RankId, msg: T, trace: TraceCtx) -> bool {
-        let buf = &mut self.per_dest[dest];
-        if buf.capacity() == 0 {
-            buf.reserve_exact(self.capacity);
+        let cap = self.capacity;
+        let slot = self.store.slot_mut(dest);
+        if slot.0.capacity() == 0 {
+            slot.0.reserve_exact(cap);
         }
-        buf.push(msg);
-        if trace.is_traced() && !self.trace_per_dest[dest].is_traced() {
-            self.trace_per_dest[dest] = trace;
+        slot.0.push(msg);
+        if trace.is_traced() && !slot.1.is_traced() {
+            slot.1 = trace;
         }
-        if buf.len() >= self.capacity {
+        if slot.0.len() >= cap {
             ctx.publish_deltas();
             self.flush_dest(ctx, dest);
             true
@@ -121,23 +156,42 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
     }
 
     fn flush_dest(&mut self, ctx: &AmCtx, dest: RankId) {
-        let buf = &mut self.per_dest[dest];
-        if buf.is_empty() {
-            return;
-        }
+        // Take the full batch out of the slot. Dense keeps the (empty)
+        // slot in place so its reserved capacity survives for the next
+        // push; sparse removes the entry outright so an idle destination
+        // costs nothing — graph workloads at thousands of ranks touch a
+        // sliver of the rank space and never re-touch most of it.
+        let (mut taken, trace) = match &mut self.store {
+            DestStore::Dense(v) => {
+                let slot = &mut v[dest];
+                if slot.0.is_empty() {
+                    return;
+                }
+                (
+                    std::mem::take(&mut slot.0),
+                    std::mem::replace(&mut slot.1, TraceCtx::NONE),
+                )
+            }
+            DestStore::Sparse(m) => match m.remove(&dest) {
+                Some((buf, trace)) if !buf.is_empty() => (buf, trace),
+                _ => return,
+            },
+        };
         // Reuse a recycled batch box when one is available: the swap hands
-        // the full buffer to the envelope and leaves the spare's reserved
-        // capacity behind for the next push — no allocation either way
-        // round once the pool is primed.
+        // the full buffer to the envelope; in dense mode the spare's
+        // reserved capacity is handed back to the slot for the next push —
+        // no allocation either way round once the pool is primed.
         let batch: Box<Vec<T>> = match self.spares.pop() {
             Some(mut spare) => {
-                std::mem::swap(&mut *spare, buf);
+                std::mem::swap(&mut *spare, &mut taken);
+                if let DestStore::Dense(v) = &mut self.store {
+                    v[dest].0 = taken;
+                }
                 spare
             }
-            None => Box::new(std::mem::take(buf)),
+            None => Box::new(taken),
         };
         let count = batch.len() as u32;
-        let trace = std::mem::replace(&mut self.trace_per_dest[dest], TraceCtx::NONE);
         ctx.ship_envelope(
             dest,
             Envelope {
@@ -154,17 +208,22 @@ impl<T: Clone + Send + 'static> TypedBuffers<T> {
 impl<T: Clone + Send + 'static> ErasedBuffers for TypedBuffers<T> {
     fn flush_all(&mut self, ctx: &AmCtx) -> usize {
         let mut shipped = 0;
-        for dest in 0..self.per_dest.len() {
-            if !self.per_dest[dest].is_empty() {
-                self.flush_dest(ctx, dest);
-                shipped += 1;
-            }
+        let dests: Vec<RankId> = match &self.store {
+            DestStore::Dense(v) => (0..v.len()).filter(|&d| !v[d].0.is_empty()).collect(),
+            DestStore::Sparse(m) => m.keys().copied().collect(),
+        };
+        for dest in dests {
+            self.flush_dest(ctx, dest);
+            shipped += 1;
         }
         shipped
     }
 
     fn pending(&self) -> usize {
-        self.per_dest.iter().map(|b| b.len()).sum()
+        match &self.store {
+            DestStore::Dense(v) => v.iter().map(|(b, _)| b.len()).sum(),
+            DestStore::Sparse(m) => m.values().map(|(b, _)| b.len()).sum(),
+        }
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -64,6 +64,34 @@ pub enum MachineError {
         /// Best-effort description of the inconsistency.
         message: String,
     },
+    /// A mid-run invariant installed via
+    /// [`AmCtx::sim_invariant`](crate::AmCtx::sim_invariant) failed at a
+    /// simulated logical-time checkpoint (sim mode only).
+    InvariantViolated {
+        /// 1-indexed epoch generation in flight when the check fired.
+        epoch: u64,
+        /// Virtual time of the violation, nanoseconds.
+        time_ns: u64,
+        /// Which kind of checkpoint fired (`"Delivery"` or `"EpochEnd"`).
+        point: String,
+        /// The checker's description of the violation.
+        detail: String,
+    },
+    /// The simulated machine stopped making progress: the event queue ran
+    /// dry and repeated wake rounds changed nothing — e.g. a Drop-mode
+    /// partition outlived the retransmit budget, or a collective can
+    /// never complete (sim mode only; the logical-time analogue of
+    /// [`MachineError::EpochDeadline`]).
+    SimStalled {
+        /// Consecutive no-progress wake rounds observed.
+        rounds: u64,
+        /// Virtual time when the watchdog fired, nanoseconds.
+        time_ns: u64,
+        /// Machine-wide messages sent at that point.
+        sent: u64,
+        /// Machine-wide messages handled at that point.
+        handled: u64,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -97,6 +125,26 @@ impl std::fmt::Display for MachineError {
             MachineError::Poisoned { message } => {
                 write!(f, "machine poisoned: {message}")
             }
+            MachineError::InvariantViolated {
+                epoch,
+                time_ns,
+                point,
+                detail,
+            } => write!(
+                f,
+                "invariant violated at virtual t={time_ns}ns (epoch {epoch}, \
+                 {point} checkpoint): {detail}"
+            ),
+            MachineError::SimStalled {
+                rounds,
+                time_ns,
+                sent,
+                handled,
+            } => write!(
+                f,
+                "simulation stalled at virtual t={time_ns}ns: {rounds} wake rounds \
+                 without progress (machine-wide sent={sent}, handled={handled})"
+            ),
         }
     }
 }
@@ -147,6 +195,33 @@ mod tests {
         assert!(s.contains("epoch 2"), "{s}");
         assert!(s.contains("[1, 3]"), "{s}");
         assert!(s.contains("sent=10"), "{s}");
+    }
+
+    #[test]
+    fn invariant_display_names_the_checkpoint() {
+        let e = MachineError::InvariantViolated {
+            epoch: 3,
+            time_ns: 12_500,
+            point: "Delivery".into(),
+            detail: "dist[4] increased".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("t=12500ns"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+        assert!(s.contains("dist[4] increased"), "{s}");
+    }
+
+    #[test]
+    fn sim_stalled_display_carries_counters() {
+        let e = MachineError::SimStalled {
+            rounds: 1024,
+            time_ns: 99,
+            sent: 7,
+            handled: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024 wake rounds"), "{s}");
+        assert!(s.contains("sent=7"), "{s}");
     }
 
     #[test]

@@ -348,11 +348,28 @@ impl LaneDedup {
 /// The reliability layer: installed in [`Shared`] when
 /// [`MachineConfig::faults`](crate::MachineConfig::faults) is set. Sits
 /// between [`crate::machine::deliver`] and the per-rank inbox channels.
+/// One fault-layer tick in virtual nanoseconds when the machine runs
+/// under the discrete-event simulator. The pump-count clock is wrong
+/// there: the cooperative scheduler pumps every rank once per wake round
+/// and once per drain, so ticks race far ahead of the modeled ack
+/// round-trip (itself 2×latency of virtual time) and every envelope's
+/// timeout expires long before its ack can possibly arrive —
+/// retransmission storms on a perfectly healthy network. Deriving ticks
+/// from the virtual clock keeps every tick-denominated knob (backoff,
+/// delay windows, reorder deadlines) proportional to the modeled link
+/// timescale instead. 1 tick = 1µs ≈ the default link latency and the
+/// scheduler's idle quantum.
+const SIM_TICK_NS: u64 = 1_000;
+
 pub(crate) struct Transport {
     plan: FaultPlan,
     nranks: usize,
-    /// Logical clock: advanced by every pump, from any rank.
+    /// Logical clock: advanced by every pump, from any rank. Unused in
+    /// sim mode (see `sim_clock`).
     tick: AtomicU64,
+    /// Virtual clock mirror when running under the simulator; ticks are
+    /// then `clock / SIM_TICK_NS` rather than pump counts.
+    sim_clock: Option<std::sync::Arc<AtomicU64>>,
     /// Tie-breaker for the parked-flight queue.
     uid: AtomicU64,
     /// Next sequence number per directed lane (`from * nranks + to`).
@@ -370,12 +387,17 @@ pub(crate) struct Transport {
 }
 
 impl Transport {
-    pub(crate) fn new(plan: FaultPlan, nranks: usize) -> Self {
+    pub(crate) fn new(
+        plan: FaultPlan,
+        nranks: usize,
+        sim_clock: Option<std::sync::Arc<AtomicU64>>,
+    ) -> Self {
         let lanes = nranks * nranks;
         Transport {
             plan,
             nranks,
             tick: AtomicU64::new(0),
+            sim_clock,
             uid: AtomicU64::new(0),
             next_seq: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
             pending: (0..lanes).map(|_| Mutex::new(BTreeMap::new())).collect(),
@@ -392,7 +414,10 @@ impl Transport {
     }
 
     fn now(&self) -> u64 {
-        self.tick.load(SeqCst)
+        match &self.sim_clock {
+            Some(clock) => clock.load(SeqCst) / SIM_TICK_NS,
+            None => self.tick.load(SeqCst),
+        }
     }
 
     fn rto(&self, attempts: u32) -> u64 {
@@ -539,7 +564,10 @@ impl Transport {
     /// pending packets on this rank's outgoing lanes. Called from every
     /// idle/termination loop; liveness of recovery depends on it.
     pub(crate) fn pump(&self, shared: &Shared, rank: RankId) {
-        let now = self.tick.fetch_add(1, SeqCst) + 1;
+        let now = match &self.sim_clock {
+            Some(clock) => clock.load(SeqCst) / SIM_TICK_NS,
+            None => self.tick.fetch_add(1, SeqCst) + 1,
+        };
         // 1. Acks addressed to this rank retire pending copies.
         while let Some(ack) = shared.pop_ack(rank) {
             let lane = self.lane(ack.from, ack.to);

@@ -51,6 +51,14 @@
 //!   [`PostMortem`] — merged timeline, unacked reliability lanes, and the
 //!   causal chain into the failing handler
 //!   ([`Machine::try_run_diagnosed`]).
+//! * **Deterministic discrete-event simulation** ([`sim`]): the same
+//!   machine over modeled links — per-link latency/jitter, partitions
+//!   that form and heal, stragglers, crash-recover stalls — driven by
+//!   one seeded logical-time event queue ([`Machine::run_sim`]). Runs
+//!   are bit-identical at thousands of simulated ranks, and
+//!   [`AmCtx::sim_invariant`] checks algorithm state mid-run at
+//!   quiescent points; the `dgp-sim` crate layers schedule exploration,
+//!   shrinking and `[replay]` blocks on top.
 //!
 //! ## Simulated distribution
 //!
@@ -103,6 +111,7 @@ pub mod fault;
 pub mod machine;
 pub mod obs;
 pub mod reduction;
+pub mod sim;
 pub mod stats;
 pub mod termination;
 pub mod trace;
@@ -112,11 +121,15 @@ pub use caching::CachingSender;
 pub use config::{MachineConfig, TerminationMode};
 pub use error::MachineError;
 pub use fault::FaultPlan;
-pub use machine::{AmCtx, Flushable, Machine, MessageType, RankId, TraceEvent};
+pub use machine::{AmCtx, Flushable, Machine, MessageType, RankId, SimError, SimRun, TraceEvent};
 pub use obs::{
     EpochProfile, LogHistogram, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
 };
 pub use reduction::ReducingSender;
+pub use sim::{
+    InvariantCadence, InvariantCtx, InvariantPoint, LinkSpec, PartitionMode, PartitionSpec, SimAt,
+    SimEventKind, SimEventRecord, SimPlan, SimReport, StallSpec, StragglerSpec,
+};
 pub use stats::StatsSnapshot;
 pub use trace::{
     FailCause, FlightEvent, FlightKind, FlightRing, LaneBacklog, MergedEvent, PostMortem, TraceCtx,

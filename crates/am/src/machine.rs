@@ -36,6 +36,7 @@ use crate::fault::Transport;
 use crate::obs::{
     self, EpochProfile, EpochProfiler, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
 };
+use crate::sim::{InvariantCtx, SimNet, SimPlan, SimReport};
 use crate::stats::{MachineStats, StatsSnapshot, TypeStat, TypeStatSnapshot};
 use crate::termination::{ring_next, Token};
 use crate::trace::{
@@ -217,7 +218,7 @@ pub(crate) struct Shared {
     /// Number of ranks currently between epoch entry and exit (for asserts).
     epoch_active: AtomicUsize,
     /// Highest epoch generation whose termination has been observed.
-    completed_epoch: AtomicU64,
+    pub(crate) completed_epoch: AtomicU64,
     shutdown: AtomicBool,
     /// Set when any thread panics, so blocked peers fail fast.
     poisoned: AtomicBool,
@@ -256,11 +257,14 @@ pub(crate) struct Shared {
     /// Causal context of the envelope whose handler recorded the machine's
     /// failure (first-wins, alongside `failure`).
     fail_cause: parking_lot::Mutex<Option<FailCause>>,
+    /// Discrete-event network + cooperative scheduler, installed by
+    /// [`Machine::run_sim`]; `None` for threaded runs (see [`crate::sim`]).
+    pub(crate) sim: Option<SimNet>,
     pub(crate) stats: MachineStats,
 }
 
 impl Shared {
-    fn new(cfg: MachineConfig) -> Self {
+    fn new(cfg: MachineConfig, sim: Option<SimNet>) -> Self {
         let ranks = (0..cfg.ranks)
             .map(|_| {
                 let (tx, rx) = unbounded();
@@ -295,7 +299,7 @@ impl Shared {
         let transport = cfg
             .faults
             .clone()
-            .map(|plan| Transport::new(plan, cfg.ranks));
+            .map(|plan| Transport::new(plan, cfg.ranks, sim.as_ref().map(|s| s.clock.clone())));
         // Chaos runs trace reproducibly with no extra wiring: an explicit
         // trace seed wins, otherwise the fault plan's seed (when one is
         // installed), otherwise a fixed constant.
@@ -304,8 +308,15 @@ impl Shared {
             (0, None) => 0x9E37_79B9_7F4A_7C15,
             (s, _) => s,
         };
-        let flight = FlightCollector::new(cfg.flight_events);
+        // In sim mode the flight recorder's timestamps read the *virtual*
+        // clock, making the recorded timeline deterministic (and
+        // digest-comparable across runs).
+        let flight = match &sim {
+            Some(net) => FlightCollector::with_clock(cfg.flight_events, net.clock.clone()),
+            None => FlightCollector::new(cfg.flight_events),
+        };
         Shared {
+            sim,
             transport,
             flight,
             trace_eid: AtomicU64::new(0),
@@ -338,11 +349,11 @@ impl Shared {
         s
     }
 
-    fn total_handled(&self) -> u64 {
+    pub(crate) fn total_handled(&self) -> u64 {
         self.ranks.iter().map(|r| r.handled.load(SeqCst)).sum()
     }
 
-    fn total_sent(&self) -> u64 {
+    pub(crate) fn total_sent(&self) -> u64 {
         self.ranks.iter().map(|r| r.sent.load(SeqCst)).sum()
     }
 
@@ -350,6 +361,11 @@ impl Shared {
         self.poisoned.store(true, SeqCst);
         self.shutdown.store(true, SeqCst);
         self.coll.poison();
+        if let Some(sim) = &self.sim {
+            // Abandon deterministic scheduling: wake every parked rank so
+            // it can observe the poison and unwind.
+            sim.poison();
+        }
     }
 
     /// Record `err` as the machine's failure (first caller wins — later
@@ -396,7 +412,24 @@ impl Shared {
     /// Put a packet in `dest`'s inbox. The inbox outlives every epoch, so
     /// a closed channel means teardown raced a straggler — reachable only
     /// on failure paths; record and abort rather than panic.
+    ///
+    /// This is the delivery seam: in sim mode the packet becomes a
+    /// logical-time `Delivery` event instead of landing immediately, and
+    /// the scheduler feeds it back through [`Shared::deliver_direct`] when
+    /// its modeled arrival time comes. Retransmissions from the
+    /// reliability layer funnel through here too, so they traverse the
+    /// modeled links like any first transmission.
     pub(crate) fn push_packet(&self, dest: RankId, pkt: Packet) {
+        if let Some(sim) = &self.sim {
+            sim.enqueue_packet(dest, pkt);
+            return;
+        }
+        self.deliver_direct(dest, pkt);
+    }
+
+    /// The threaded half of [`Shared::push_packet`]: put the packet in the
+    /// inbox *now*. Also the sim scheduler's delivery primitive.
+    pub(crate) fn deliver_direct(&self, dest: RankId, pkt: Packet) {
         if self.ranks[dest].tx.send(pkt).is_err() {
             self.fail(
                 MachineError::Poisoned {
@@ -408,8 +441,20 @@ impl Shared {
         }
     }
 
-    /// Deliver an acknowledgement to the original sender `dest`.
+    /// Deliver an acknowledgement to the original sender `dest`. Same
+    /// seam as [`Shared::push_packet`]: sim mode models the ack's reverse
+    /// trip, so retransmit timers react to modeled round-trip times.
     pub(crate) fn push_ack(&self, dest: RankId, ack: Ack) {
+        if let Some(sim) = &self.sim {
+            sim.enqueue_ack(dest, ack);
+            return;
+        }
+        self.ack_direct(dest, ack);
+    }
+
+    /// The threaded half of [`Shared::push_ack`] / the sim scheduler's ack
+    /// delivery primitive.
+    pub(crate) fn ack_direct(&self, dest: RankId, ack: Ack) {
         if self.ranks[dest].ack_tx.send(ack).is_err() {
             self.fail(
                 MachineError::Poisoned {
@@ -426,8 +471,23 @@ impl Shared {
         self.ranks[rank].ack_rx.try_recv().ok()
     }
 
-    /// Send a termination-control token to `dest` (poison-aware).
-    fn push_token(&self, dest: RankId, tok: Token) {
+    /// Send a termination-control token from `from` to `dest`
+    /// (poison-aware). In sim mode tokens traverse the modeled link like
+    /// any message (so wave circulation advances virtual time and
+    /// interleaves with data deliveries in timestamp order) but are
+    /// exempt from partitions: the control plane has no retransmit
+    /// layer, so losing a token would wedge termination rather than
+    /// model anything useful.
+    fn push_token(&self, from: RankId, dest: RankId, tok: Token) {
+        if let Some(sim) = &self.sim {
+            sim.enqueue_token(from, dest, tok);
+            return;
+        }
+        self.token_direct(dest, tok);
+    }
+
+    /// Deliver a control token onto `dest`'s control channel.
+    pub(crate) fn token_direct(&self, dest: RankId, tok: Token) {
         if self.ranks[dest].ctl_tx.send(tok).is_err() {
             self.fail(
                 MachineError::Poisoned {
@@ -596,8 +656,54 @@ pub struct Machine;
 
 /// A recorded failure plus, when the primary cause was a panic, the
 /// original payload so [`Machine::run`] can re-raise it verbatim, plus
-/// the automatic post-mortem assembled from the frozen flight rings.
-type RunFailure = (MachineError, Option<Box<dyn Any + Send>>, Box<PostMortem>);
+/// the automatic post-mortem assembled from the frozen flight rings and
+/// (sim mode only) the simulation report.
+type RunFailure = (
+    MachineError,
+    Option<Box<dyn Any + Send>>,
+    Box<PostMortem>,
+    // Boxed: the report embeds the recorded network-event trace, and an
+    // unboxed copy would bloat every `Result` on the run path
+    // (clippy::result_large_err).
+    Option<Box<SimReport>>,
+);
+
+/// A successful simulated run: per-rank results plus the simulation
+/// report (virtual time, event counts, network-event trace, and the
+/// determinism digest over the flight-recorder timeline).
+#[derive(Debug)]
+pub struct SimRun<R> {
+    /// Each rank's result, indexed by rank.
+    pub results: Vec<R>,
+    /// The run's [`SimReport`].
+    pub report: SimReport,
+}
+
+/// A failed simulated run: the machine error, the automatic post-mortem
+/// (frozen flight timeline, unacked lanes, causal chain), and the
+/// simulation report up to the failure — together enough to replay and
+/// shrink the offending schedule.
+#[derive(Debug)]
+pub struct SimError {
+    /// The first recorded failure.
+    pub error: MachineError,
+    /// The automatic post-mortem assembled from the frozen flight rings.
+    pub postmortem: Box<PostMortem>,
+    /// Simulation state at the failure (virtual time, counters, trace).
+    pub report: SimReport,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (at virtual t={}ns after {} deliveries)",
+            self.error, self.report.virtual_time_ns, self.report.deliveries
+        )
+    }
+}
+
+impl std::error::Error for SimError {}
 
 impl Machine {
     /// Spawn `cfg.ranks` main threads (plus workers) and run `f` on each;
@@ -609,15 +715,15 @@ impl Machine {
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
     {
-        match Self::run_inner(cfg, f) {
-            Ok(out) => out,
+        match Self::run_inner(cfg, None, f) {
+            Ok((out, _)) => out,
             // Re-raise the original panic when there is one, so panic
             // messages (and #[should_panic] expectations) survive verbatim.
-            Err((err, Some(payload), _)) => {
+            Err((err, Some(payload), _, _)) => {
                 let _ = err;
                 std::panic::resume_unwind(payload)
             }
-            Err((err, None, _)) => panic!("{err}"),
+            Err((err, None, _, _)) => panic!("{err}"),
         }
     }
 
@@ -632,7 +738,9 @@ impl Machine {
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
     {
-        Self::run_inner(cfg, f).map_err(|(err, _, _)| err)
+        Self::run_inner(cfg, None, f)
+            .map(|(out, _)| out)
+            .map_err(|(err, _, _, _)| err)
     }
 
     /// [`Machine::try_run`] plus the automatic [`PostMortem`]: the frozen
@@ -649,16 +757,66 @@ impl Machine {
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
     {
-        Self::run_inner(cfg, f).map_err(|(err, _, pm)| (err, pm))
+        Self::run_inner(cfg, None, f)
+            .map(|(out, _)| out)
+            .map_err(|(err, _, pm, _)| (err, pm))
     }
 
-    fn run_inner<F, R>(cfg: MachineConfig, f: F) -> Result<Vec<R>, RunFailure>
+    /// Run the SPMD program on the discrete-event simulator instead of
+    /// free-running threads: cross-rank deliveries go through `plan`'s
+    /// seeded logical-time event queue (modeled latencies, partitions,
+    /// stragglers, stalls) and exactly one rank runs at a time, so the
+    /// entire run — results, statistics, flight-recorder timeline — is a
+    /// deterministic function of `(cfg, plan, program)`. See
+    /// [`crate::sim`] for the model and [`AmCtx::sim_invariant`] for
+    /// mid-run state checking.
+    ///
+    /// Requires `threads_per_rank == 1` (rank bodies already serve
+    /// handlers when idle; worker threads would reintroduce real
+    /// concurrency and destroy determinism).
+    pub fn run_sim<F, R>(
+        cfg: MachineConfig,
+        plan: SimPlan,
+        f: F,
+    ) -> Result<SimRun<R>, Box<SimError>>
+    where
+        F: Fn(&AmCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        assert_eq!(
+            cfg.threads_per_rank, 1,
+            "the simulator requires threads_per_rank == 1 (deterministic \
+             single-token scheduling)"
+        );
+        plan.validate(cfg.ranks, cfg.faults.is_some());
+        match Self::run_inner(cfg, Some(plan), f) {
+            Ok((results, report)) => Ok(SimRun {
+                results,
+                report: report.unwrap_or_default(),
+            }),
+            Err((error, _, postmortem, report)) => Err(Box::new(SimError {
+                error,
+                postmortem,
+                report: report.map(|b| *b).unwrap_or_default(),
+            })),
+        }
+    }
+
+    fn run_inner<F, R>(
+        cfg: MachineConfig,
+        sim_plan: Option<SimPlan>,
+        f: F,
+    ) -> Result<(Vec<R>, Option<SimReport>), RunFailure>
     where
         F: Fn(&AmCtx) -> R + Send + Sync,
         R: Send,
     {
         cfg.validate();
-        let shared = Arc::new(Shared::new(cfg.clone()));
+        let net = sim_plan.map(|plan| SimNet::new(plan, cfg.ranks));
+        // Simulated rank threads get small stacks: at 4096 ranks the
+        // default 8 MiB would reserve 32 GiB of address space.
+        let sim_stack = net.as_ref().map(|n| n.plan().stack_size);
+        let shared = Arc::new(Shared::new(cfg.clone(), net));
         let nranks = cfg.ranks;
         let workers_per_rank = cfg.threads_per_rank - 1;
         let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
@@ -676,9 +834,14 @@ impl Machine {
             for rank in 0..nranks {
                 let shared = shared.clone();
                 let f = &f;
-                handles.push(s.spawn(move || {
+                let body = move || {
                     let ctx = AmCtx::new(shared.clone(), rank, 0);
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                    // Sim mode: enter the cooperative token discipline —
+                    // park until the scheduler runs this rank.
+                    if let Some(sim) = &shared.sim {
+                        sim.attach(rank);
+                    }
+                    let out = match std::panic::catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
                         Ok(r) => {
                             // All epochs done everywhere before tearing
                             // down. On a poisoned machine the barrier
@@ -716,8 +879,23 @@ impl Machine {
                             }
                             None
                         }
+                    };
+                    // Leave the token discipline (mark Done and hand the
+                    // token on; immediate no-op on a poisoned machine).
+                    if let Some(sim) = &shared.sim {
+                        sim.finish(&shared, rank);
                     }
-                }));
+                    out
+                };
+                let handle = match sim_stack {
+                    Some(size) => std::thread::Builder::new()
+                        .stack_size(size)
+                        .name(format!("sim-rank{rank}"))
+                        .spawn_scoped(s, body)
+                        .expect("failed to spawn simulated rank thread"),
+                    None => s.spawn(body),
+                };
+                handles.push(handle);
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 if let Ok(r) = h.join() {
@@ -739,11 +917,14 @@ impl Machine {
                 );
             }
         }
+        // Every thread has been joined: flight rings are deposited, so
+        // the report (and its determinism digest) is complete and stable.
+        let report = shared.sim.as_ref().map(|sim| sim.report(&shared));
         if let Some(err) = shared.failure.lock().take() {
             let payload = shared.failure_payload.lock().take();
             let pm = assemble_postmortem(&shared, &err);
             write_postmortem(&shared, &pm);
-            return Err((err, payload, pm));
+            return Err((err, payload, pm, report.map(Box::new)));
         }
         let mut out = Vec::with_capacity(nranks);
         for (rank, r) in results.into_iter().enumerate() {
@@ -755,11 +936,11 @@ impl Machine {
                     };
                     let pm = assemble_postmortem(&shared, &err);
                     write_postmortem(&shared, &pm);
-                    return Err((err, None, pm));
+                    return Err((err, None, pm, report.map(Box::new)));
                 }
             }
         }
-        Ok(out)
+        Ok((out, report))
     }
 }
 
@@ -1292,25 +1473,42 @@ impl AmCtx {
     /// Barrier across all rank main threads.
     pub fn barrier(&self) {
         debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
-        self.shared.coll.barrier();
+        match &self.shared.sim {
+            // Sim mode: condvar waits would block the OS thread while it
+            // holds the scheduling token; the sim's serialized collective
+            // parks cooperatively instead.
+            Some(sim) => {
+                sim.all_reduce(&self.shared, self.rank, 0, |a, b| a | b);
+            }
+            None => self.shared.coll.barrier(),
+        }
     }
 
     /// All-reduce a `u64` across rank main threads.
     pub fn all_reduce(&self, mine: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
         debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
-        self.shared.coll.all_reduce(mine, op)
+        match &self.shared.sim {
+            Some(sim) => sim.all_reduce(&self.shared, self.rank, mine, op),
+            None => self.shared.coll.all_reduce(mine, op),
+        }
     }
 
     /// Global OR across rank main threads.
     pub fn any_rank(&self, mine: bool) -> bool {
         debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
-        self.shared.coll.any(mine)
+        match &self.shared.sim {
+            Some(sim) => sim.all_reduce(&self.shared, self.rank, mine as u64, |a, b| a | b) != 0,
+            None => self.shared.coll.any(mine),
+        }
     }
 
     /// Global sum across rank main threads.
     pub fn sum_ranks(&self, mine: u64) -> u64 {
         debug_assert_eq!(self.thread, 0, "collectives involve rank main threads only");
-        self.shared.coll.sum(mine)
+        match &self.shared.sim {
+            Some(sim) => sim.all_reduce(&self.shared, self.rank, mine, |a, b| a.wrapping_add(b)),
+            None => self.shared.coll.sum(mine),
+        }
     }
 
     /// Collectively construct one shared value: the first rank to arrive
@@ -1393,6 +1591,14 @@ impl AmCtx {
             TerminationMode::FourCounterWave => self.finish_epoch_wave(my_gen, entered),
         }
 
+        // Sim mode: epoch-triggered plan transitions (partitions forming
+        // or healing "after epoch N") and the epoch-cadence invariant
+        // check run here, exactly once per generation, while the machine
+        // is provably quiescent (termination detected, exit barrier not
+        // yet passed).
+        if let Some(sim) = &self.shared.sim {
+            sim.on_epoch_end(&self.shared, my_gen);
+        }
         self.flight_push(FlightKind::EpochExit, my_gen, 0);
         self.shared.epoch_active.fetch_sub(1, SeqCst);
         self.in_epoch.set(false);
@@ -1481,25 +1687,78 @@ impl AmCtx {
         let me = &self.shared.ranks[self.rank];
         me.idle.store(true, SeqCst);
         // Double scan: flags, counters, flags, counters — all stable.
+        // The sim pauses on the waiting-on-others exits are what keep
+        // busy-wait callers (`while !try_finish() { epoch_flush() }`)
+        // live under cooperative scheduling: without them the caller
+        // would spin holding the token and no other rank could ever
+        // make the counters balance.
         if !self.shared.all_idle() {
+            self.sim_idle_pause();
             return false;
         }
         let h1 = self.shared.total_handled();
         let s1 = self.shared.total_sent();
         if h1 != s1 {
+            self.sim_idle_pause();
             return false;
         }
         if !self.shared.all_idle() {
+            self.sim_idle_pause();
             return false;
         }
         let h2 = self.shared.total_handled();
         let s2 = self.shared.total_sent();
         if h2 != s1 || s2 != s1 {
+            self.sim_idle_pause();
             return false;
         }
         self.flight_push(FlightKind::TermVote, my_gen, 0);
         self.shared.completed_epoch.fetch_max(my_gen, SeqCst);
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation (see `crate::sim`)
+    // ------------------------------------------------------------------
+
+    /// Whether this machine runs under the discrete-event simulator
+    /// ([`Machine::run_sim`]).
+    pub fn in_sim(&self) -> bool {
+        self.shared.sim.is_some()
+    }
+
+    /// Install a mid-run invariant check, validated by the simulator at
+    /// the logical-time points selected by
+    /// [`SimPlan::invariant_cadence`](crate::sim::SimPlan) — before packet
+    /// deliveries and/or at epoch ends — while the machine is quiescent
+    /// (no handler mid-flight anywhere). The hook runs on the scheduling
+    /// thread: it must only perform atomic reads of algorithm state (e.g.
+    /// property-map snapshots), never send messages or block. Returning
+    /// `Err(detail)` fails the machine with
+    /// [`MachineError::InvariantViolated`], freezing the flight recorder
+    /// at the exact virtual time of the offense.
+    ///
+    /// Installed from inside the SPMD program (state to check usually
+    /// lives behind [`AmCtx::share`]); the first installer wins, so every
+    /// rank installing the same check is the natural, benign pattern.
+    /// No-op outside sim mode, so algorithm code can install checks
+    /// unconditionally.
+    pub fn sim_invariant<F>(&self, f: F)
+    where
+        F: Fn(&InvariantCtx) -> Result<(), String> + Send + Sync + 'static,
+    {
+        if let Some(sim) = &self.shared.sim {
+            sim.set_invariant(Arc::new(f));
+        }
+    }
+
+    /// Cooperatively release the scheduling token while this rank waits
+    /// on others (no-op outside sim mode).
+    #[inline]
+    fn sim_idle_pause(&self) {
+        if let Some(sim) = &self.shared.sim {
+            sim.idle_wait(&self.shared, self.rank);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1915,10 +2174,19 @@ impl AmCtx {
                     break;
                 }
             }
-            // Block briefly; new work lowers our idle flag.
-            if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
-                me.idle.store(false, SeqCst);
-                self.handle_packet(pkt);
+            // Block briefly; new work lowers our idle flag. In sim mode
+            // blocking the OS thread would stall the whole machine (we
+            // hold the scheduling token) — park cooperatively instead;
+            // deliveries and dry-queue wakes resume us, and the next
+            // drain_and_flush picks the packets up.
+            match &shared.sim {
+                Some(sim) => sim.idle_wait(shared, self.rank),
+                None => {
+                    if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+                        me.idle.store(false, SeqCst);
+                        self.handle_packet(pkt);
+                    }
+                }
             }
         }
         if let Some(s) = span.as_mut() {
@@ -1998,7 +2266,7 @@ impl AmCtx {
                     if sent == handled && prev_wave == Some(cur) {
                         self.flight_push(FlightKind::TermVote, my_gen, tokens_seen);
                         for r in 1..n {
-                            shared.push_token(r, Token::Terminate);
+                            shared.push_token(self.rank, r, Token::Terminate);
                         }
                         shared.completed_epoch.fetch_max(my_gen, SeqCst);
                         break;
@@ -2012,7 +2280,7 @@ impl AmCtx {
                         sent: sent + me.sent.load(SeqCst),
                         handled: handled + me.handled.load(SeqCst),
                     };
-                    shared.push_token(ring_next(self.rank, n), tok);
+                    shared.push_token(self.rank, ring_next(self.rank, n), tok);
                 }
             }
             if self.rank == 0 && !wave_in_flight {
@@ -2022,13 +2290,19 @@ impl AmCtx {
                     sent: me.sent.load(SeqCst),
                     handled: me.handled.load(SeqCst),
                 };
-                shared.push_token(ring_next(0, n), tok);
+                shared.push_token(self.rank, ring_next(0, n), tok);
                 wave_in_flight = true;
             }
-            // Block briefly on the data channel.
-            if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
-                me.idle.store(false, SeqCst);
-                self.handle_packet(pkt);
+            // Block briefly on the data channel (cooperatively in sim
+            // mode; control tokens mark us runnable via push_token).
+            match &shared.sim {
+                Some(sim) => sim.idle_wait(shared, self.rank),
+                None => {
+                    if let Ok(pkt) = me.rx.recv_timeout(shared.cfg.recv_timeout) {
+                        me.idle.store(false, SeqCst);
+                        self.handle_packet(pkt);
+                    }
+                }
             }
         }
         me.idle.store(true, SeqCst);

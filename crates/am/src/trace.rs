@@ -51,7 +51,8 @@
 //!   report to a directory, which is what CI uploads when a chaos job
 //!   fails.
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -249,6 +250,10 @@ pub(crate) struct FlightCollector {
     base: Instant,
     capacity: usize,
     frozen: AtomicBool,
+    /// Simulation mode: timestamps read this virtual clock (nanoseconds
+    /// of logical time, mirrored by the scheduler) instead of the wall
+    /// clock, making recorded timelines bit-reproducible across runs.
+    virtual_clock: Option<Arc<AtomicU64>>,
     rings: Mutex<Vec<FlightRing>>,
     /// Side ring for layers without a thread-owned ring (the transport's
     /// retransmit/fault events). Mutex-guarded but only touched on fault
@@ -262,9 +267,17 @@ impl FlightCollector {
             base: Instant::now(),
             capacity,
             frozen: AtomicBool::new(false),
+            virtual_clock: None,
             rings: Mutex::new(Vec::new()),
             aux: Mutex::new(FlightRing::new(usize::MAX, 0, capacity)),
         }
+    }
+
+    /// A collector whose timestamps read a virtual clock (sim mode).
+    pub(crate) fn with_clock(capacity: usize, clock: Arc<AtomicU64>) -> Self {
+        let mut c = Self::new(capacity);
+        c.virtual_clock = Some(clock);
+        c
     }
 
     #[inline]
@@ -291,7 +304,10 @@ impl FlightCollector {
 
     #[inline]
     pub(crate) fn now_ns(&self) -> u64 {
-        self.base.elapsed().as_nanos() as u64
+        match &self.virtual_clock {
+            Some(clock) => clock.load(Relaxed),
+            None => self.base.elapsed().as_nanos() as u64,
+        }
     }
 
     /// Accept a thread's ring at thread exit.

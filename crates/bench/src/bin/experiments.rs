@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every figure and experiment in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e14, or
+//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e15, or
 //! nothing (= all). Scale with `--small` for quick runs. `--metrics DIR`
 //! makes E12 write `metrics.json` and `trace.json` (Chrome trace-event
 //! format, loadable in Perfetto / `chrome://tracing`) into DIR.
@@ -19,6 +19,14 @@
 //! `--bench-smoke PATH` re-measures only the headline throughput and
 //! exits nonzero when it regressed more than 30% against the number
 //! recorded in PATH (CI runs this against the committed `BENCH_5.json`).
+//! `--sim` runs only E15: the deterministic-simulator rank-scaling table
+//! (up to 4096 simulated ranks on one thread pool) plus the adversarial
+//! schedule-exploration sweep; any failing cell is shrunk and its
+//! `[replay]` block printed, and the process exits nonzero.
+//! `--sim-replay PATH` skips the experiments and instead replays one
+//! `[replay]` block (as produced by the explorer/shrinker or
+//! `dgp_sim::to_replay`) from PATH, printing the outcome; exits nonzero
+//! if the scenario still fails.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -142,6 +150,55 @@ fn bench_smoke(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `--sim-replay PATH`: parse one `[replay]` block and re-run the exact
+/// scenario it describes — the one-command repro for any schedule the
+/// explorer/shrinker (or a failing CI cell) serialized. Exits 0 when the
+/// scenario passes its invariants, 1 when it still fails.
+fn sim_replay(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--sim-replay {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match dgp_sim::from_replay(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--sim-replay {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("replaying {path}: {spec:?}\n");
+    let t0 = Instant::now();
+    let out = dgp_sim::run_scenario(&spec);
+    let wall = t0.elapsed();
+    println!(
+        "virtual time {} ns | {} deliveries | {} events | {} wake rounds | wall {wall:?}",
+        out.report.virtual_time_ns,
+        out.report.deliveries,
+        out.report.events,
+        out.report.wake_rounds
+    );
+    println!(
+        "partition drops {} | partition held {} | flight digest {:#018x} | result digest {:#018x}",
+        out.report.partition_drops,
+        out.report.partition_held,
+        out.report.flight_digest,
+        out.result_digest
+    );
+    match out.error {
+        None => {
+            println!("\nreplay PASSED: every mid-run invariant and final result check held");
+            std::process::exit(0);
+        }
+        Some(e) => {
+            println!("\nreplay FAILED (reproduced): {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--lint") {
@@ -166,6 +223,16 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--sim-replay") {
+        match args.get(i + 1) {
+            Some(path) => sim_replay(&path.clone()),
+            None => {
+                eprintln!("--sim-replay needs a file argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sim_only = args.iter().any(|a| a == "--sim");
     let metrics_dir: Option<PathBuf> = args.iter().position(|a| a == "--metrics").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("--metrics needs a directory argument");
@@ -189,10 +256,13 @@ fn main() {
         args.drain(i..=i + 1);
         dir
     });
-    let ids: Vec<String> = args
+    let mut ids: Vec<String> = args
         .into_iter()
-        .filter(|a| a != "--small" && a != "--trace")
+        .filter(|a| a != "--small" && a != "--trace" && a != "--sim")
         .collect();
+    if sim_only {
+        ids = vec!["e15".to_string()];
+    }
     let run_all = ids.is_empty();
     let want = |id: &str| run_all || ids.iter().any(|i| i == id);
 
@@ -254,7 +324,14 @@ fn main() {
     if want("e14") {
         exp::e14(postmortem_dir.as_deref());
     }
+    let mut sim_failures = 0usize;
+    if want("e15") {
+        sim_failures = exp::e15(small);
+    }
     eprintln!("\ntotal harness time: {:?}", t0.elapsed());
+    if sim_failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 mod exp {
@@ -1329,5 +1406,147 @@ mod exp {
             Some(dir) => println!("post-mortem dumps written under {}", dir.display()),
             None => println!("(pass --postmortem DIR to keep the rendered dumps)"),
         }
+    }
+
+    /// E15 — beyond the paper: the deterministic discrete-event
+    /// simulator as a testing substrate. Part 1 scales one ring-relay
+    /// epoch to 4096 simulated ranks on a single thread pool, running
+    /// each size twice — identical seeds must reproduce the entire
+    /// virtual timeline bit for bit. Part 2 sweeps adversarial schedule
+    /// policies × seeds over the baseline SSSP scenario with the mid-run
+    /// invariant checker active; any failing cell is shrunk to a minimal
+    /// scenario and its `[replay]` block printed. Returns the number of
+    /// failing cells (the harness exits nonzero if any).
+    pub fn e15(small: bool) -> usize {
+        use dgp_am::SimPlan;
+        use dgp_sim::{explore, ScenarioSpec, ALL_POLICIES};
+        use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+        use std::sync::Arc;
+        use std::time::Instant;
+
+        header(
+            "E15",
+            "deterministic simulator: 4096-rank scaling + schedule exploration",
+            "beyond the paper: a reproducible testing substrate for the §III runtime",
+        );
+
+        println!("rank scaling: one ring-relay epoch over modeled links (latency 700ns,");
+        println!("jitter 1.5µs), every rank sends and receives across a link; each size");
+        println!("runs twice and the virtual timelines must match exactly.\n");
+        let ring = |ranks: usize, seed: u64| {
+            let hops = Arc::new(AtomicU64::new(0));
+            let h2 = hops.clone();
+            let run = Machine::run_sim(
+                MachineConfig::new(ranks).coalescing(1).flight(16),
+                SimPlan::new(seed).latency(700).per_msg(5).jitter(1_500),
+                move |ctx| {
+                    let hops = h2.clone();
+                    let mt = ctx.register(move |_ctx, _: u8| {
+                        hops.fetch_add(1, SeqCst);
+                    });
+                    ctx.epoch(|ctx| {
+                        mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), 0u8);
+                    });
+                },
+            )
+            .expect("sim run");
+            assert_eq!(hops.load(SeqCst), ranks as u64, "every hop delivered");
+            run.report
+        };
+        let sizes: &[usize] = if small {
+            &[64, 512, 4096]
+        } else {
+            &[64, 256, 1024, 4096]
+        };
+        let mut t = Table::new(&[
+            "ranks",
+            "virtual time",
+            "deliveries",
+            "events",
+            "wall",
+            "flight digest",
+            "replays",
+        ]);
+        for &ranks in sizes {
+            let t1 = Instant::now();
+            let a = ring(ranks, 9);
+            let wall = t1.elapsed();
+            let b = ring(ranks, 9);
+            let identical = a.flight_digest == b.flight_digest
+                && a.events == b.events
+                && a.virtual_time_ns == b.virtual_time_ns;
+            t.row(vec![
+                ranks.to_string(),
+                format!("{} ns", a.virtual_time_ns),
+                a.deliveries.to_string(),
+                a.events.to_string(),
+                format!("{wall:?}"),
+                format!("{:#018x}", a.flight_digest),
+                if identical {
+                    "bit-identical"
+                } else {
+                    "DIVERGED"
+                }
+                .to_string(),
+            ]);
+        }
+        t.print();
+
+        // CI layers one extra seed per matrix leg on top of the baked-in
+        // sweep, mirroring the DGP_CHAOS_SEED idiom.
+        let mut seeds: Vec<u64> = if small { vec![1, 2] } else { vec![1, 2, 3, 4] };
+        if let Some(extra) = std::env::var("DGP_SIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            if !seeds.contains(&extra) {
+                seeds.push(extra);
+            }
+        }
+        println!(
+            "\nschedule exploration: {} adversarial policies × {} seeds over the baseline",
+            ALL_POLICIES.len(),
+            seeds.len()
+        );
+        println!("SSSP scenario (R-MAT scale 6, 4 ranks); partitions, stragglers, asymmetric");
+        println!("links, heavy reorder and crash-recover stalls, with mid-run invariants");
+        println!("checked throughout. Failing cells shrink to minimal [replay] blocks.\n");
+        let base = ScenarioSpec::baseline(17);
+        let t2 = Instant::now();
+        let report = explore(&base, &seeds, &ALL_POLICIES);
+        print!("{}", report.render());
+        let failures: Vec<_> = report.failures().collect();
+        println!(
+            "\n{} cells explored in {:?}, {} failing",
+            report.cases.len(),
+            t2.elapsed(),
+            failures.len()
+        );
+        if failures.is_empty() {
+            println!("all policies converge to the exact baseline result — retransmission,");
+            println!("dedup and termination detection absorb every modeled adversary.");
+        }
+        let repro_dir = std::env::var("DGP_SIM_REPRO_DIR").ok();
+        if let (Some(dir), false) = (&repro_dir, failures.is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        for f in &failures {
+            println!(
+                "\n--- shrunk repro for {} seed {} (run with --sim-replay) ---",
+                f.policy.name(),
+                f.seed
+            );
+            if let Some(rep) = &f.replay {
+                print!("{rep}");
+                if let Some(dir) = &repro_dir {
+                    let path = format!("{dir}/sim-repro-{}-{}.txt", f.policy.name(), f.seed);
+                    match std::fs::write(&path, rep) {
+                        Ok(()) => println!("(written to {path})"),
+                        Err(e) => eprintln!("could not write {path}: {e}"),
+                    }
+                }
+            }
+        }
+        failures.len()
     }
 }

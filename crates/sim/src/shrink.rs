@@ -1,0 +1,200 @@
+//! Greedy scenario shrinking: reduce a failing [`ScenarioSpec`] to a
+//! minimal spec that still fails the same predicate.
+//!
+//! The vendored proptest stand-in deliberately has no shrinking, so this
+//! is the repo's real shrinker. Scenarios are flat value structs, which
+//! makes greedy delta-debugging natural: try removing one plan element
+//! (a partition, a straggler, a stall, a link override) or simplifying
+//! one scalar (zero the jitter, halve the latency, halve the ranks,
+//! shrink the graph), keep the edit iff the scenario still fails, and
+//! iterate to a fixed point. Every candidate is a full deterministic
+//! re-run, so the result is trustworthy: the returned spec *does* fail.
+
+use crate::scenario::ScenarioSpec;
+
+/// Hard cap on candidate runs, so shrinking a pathological scenario
+/// stays bounded. 200 runs of small scenarios is well under a second.
+const RUN_BUDGET: usize = 200;
+
+/// Candidate edits, ordered most-aggressive-first: structural removals
+/// before scalar simplifications, so one pass deletes whole plan
+/// elements before fiddling with magnitudes.
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    for i in 0..spec.partitions.len() {
+        let mut s = spec.clone();
+        s.partitions.remove(i);
+        out.push(s);
+    }
+    for i in 0..spec.stragglers.len() {
+        let mut s = spec.clone();
+        s.stragglers.remove(i);
+        out.push(s);
+    }
+    for i in 0..spec.stalls.len() {
+        let mut s = spec.clone();
+        s.stalls.remove(i);
+        out.push(s);
+    }
+    // Links shrink in halves first (removing 1 of 2·(n−1) asymmetric
+    // overrides rarely changes anything; removing half of them does).
+    if spec.links.len() > 1 {
+        let mid = spec.links.len() / 2;
+        let mut lo = spec.clone();
+        lo.links.truncate(mid);
+        out.push(lo);
+        let mut hi = spec.clone();
+        hi.links.drain(..mid);
+        out.push(hi);
+    }
+    for i in 0..spec.links.len() {
+        let mut s = spec.clone();
+        s.links.remove(i);
+        out.push(s);
+    }
+    if spec.faults {
+        let mut s = spec.clone();
+        s.faults = false;
+        out.push(s);
+    }
+    if spec.wave {
+        let mut s = spec.clone();
+        s.wave = false;
+        out.push(s);
+    }
+    if spec.every_delivery {
+        let mut s = spec.clone();
+        s.every_delivery = false;
+        out.push(s);
+    }
+    if spec.jitter_ns > 0 {
+        let mut s = spec.clone();
+        s.jitter_ns = 0;
+        out.push(s);
+    }
+    if spec.ranks > 2 {
+        let mut s = spec.clone();
+        s.ranks /= 2;
+        // Plan elements may reference ranks that no longer exist; drop
+        // those rather than producing an invalid candidate.
+        s.partitions.retain(|p| p.cut.iter().all(|&r| r < s.ranks));
+        s.stragglers.retain(|g| g.rank < s.ranks);
+        s.stalls.retain(|g| g.rank < s.ranks);
+        s.links.retain(|&(f, t, _)| f < s.ranks && t < s.ranks);
+        out.push(s);
+    }
+    if spec.coalescing > 1 {
+        let mut s = spec.clone();
+        s.coalescing /= 2;
+        out.push(s);
+    }
+    if spec.latency_ns > 1 {
+        let mut s = spec.clone();
+        s.latency_ns /= 2;
+        out.push(s);
+    }
+    if spec.per_msg_ns > 0 {
+        let mut s = spec.clone();
+        s.per_msg_ns /= 2;
+        out.push(s);
+    }
+    if let crate::scenario::GraphKind::Rmat { scale, edge_factor } = spec.graph {
+        if scale > 3 {
+            let mut s = spec.clone();
+            s.graph = crate::scenario::GraphKind::Rmat {
+                scale: scale - 1,
+                edge_factor,
+            };
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Shrink `spec` against `fails` (true ⇒ the scenario still exhibits the
+/// failure). Greedy first-improvement descent with restart-on-success,
+/// bounded by a fixed run budget; returns the smallest still-failing
+/// spec found. `spec` itself is assumed failing (if it isn't, it is
+/// returned unchanged — the predicate is never trusted blindly, so the
+/// caller always gets a spec for which `fails` returned true, or the
+/// original).
+pub fn shrink(spec: &ScenarioSpec, fails: impl Fn(&ScenarioSpec) -> bool) -> ScenarioSpec {
+    let mut best = spec.clone();
+    let mut runs = 0;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if runs >= RUN_BUDGET {
+                break 'outer;
+            }
+            runs += 1;
+            if fails(&cand) {
+                best = cand;
+                continue 'outer; // re-derive candidates from the smaller spec
+            }
+        }
+        break; // full pass with no accepted edit: fixed point
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{partition, GraphKind, PartitionMode, ScenarioSpec};
+    use dgp_am::{SimAt, StragglerSpec};
+
+    /// A synthetic predicate: "fails iff a straggler on rank 1 exists".
+    /// The shrinker must strip everything else.
+    #[test]
+    fn strips_irrelevant_plan_elements() {
+        let mut spec = ScenarioSpec::baseline(5);
+        spec.jitter_ns = 9_000;
+        spec.links.push((0, 1, 50));
+        spec.links.push((1, 0, 77_000));
+        spec.partitions.push(partition(
+            &[2],
+            SimAt::Epoch(1),
+            SimAt::Time(5_000_000),
+            PartitionMode::Hold,
+        ));
+        spec.stragglers.push(StragglerSpec {
+            rank: 1,
+            factor: 64,
+        });
+        spec.stragglers.push(StragglerSpec { rank: 3, factor: 2 });
+
+        let fails = |s: &ScenarioSpec| s.stragglers.iter().any(|g| g.rank == 1 && g.factor > 10);
+        let min = shrink(&spec, fails);
+        assert!(fails(&min));
+        assert!(min.partitions.is_empty());
+        assert!(min.links.is_empty());
+        assert_eq!(min.jitter_ns, 0);
+        assert_eq!(min.stragglers.len(), 1);
+        assert_eq!(min.stragglers[0].rank, 1);
+        assert_eq!(min.ranks, 2, "rank count halved to the floor");
+    }
+
+    /// A never-failing predicate returns the input unchanged.
+    #[test]
+    fn non_failing_spec_is_returned_unchanged() {
+        let spec = ScenarioSpec::baseline(1);
+        let min = shrink(&spec, |_| false);
+        assert_eq!(min, spec);
+    }
+
+    /// Scalars simplify: jitter zeroes, graph scale descends to 3.
+    #[test]
+    fn scalars_reach_their_floors() {
+        let mut spec = ScenarioSpec::baseline(1);
+        spec.jitter_ns = 12_345;
+        spec.every_delivery = true;
+        spec.wave = true;
+        let min = shrink(&spec, |_| true);
+        assert_eq!(min.jitter_ns, 0);
+        assert!(!min.every_delivery);
+        assert!(!min.wave);
+        assert_eq!(min.coalescing, 1);
+        assert_eq!(min.per_msg_ns, 0);
+        assert!(matches!(min.graph, GraphKind::Rmat { scale: 3, .. }));
+    }
+}

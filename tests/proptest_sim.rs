@@ -1,0 +1,171 @@
+//! Property-based schedule exploration: arbitrary simulated scenarios —
+//! random workloads, graphs, link models, partitions, stragglers and
+//! stalls — must (a) replay bit-identically under the same seed, (b)
+//! compute schedule-independent results across different seeds, and (c)
+//! recover exactly from healed lossy partitions. The vendored proptest
+//! stand-in deliberately has no shrinking, so minimization is covered by
+//! `dgp_sim::shrink`: the last property manufactures a failing scenario
+//! and checks it reduces to a minimal spec whose replay block round-trips.
+
+use proptest::prelude::*;
+
+use dgp_am::{PartitionMode, SimAt};
+use dgp_sim::scenario::partition;
+use dgp_sim::{from_replay, run_scenario, shrink, to_replay, GraphKind, ScenarioSpec, Workload};
+
+/// A generated scenario, bounded small enough that a proptest case set
+/// stays in seconds: ≤6 ranks, ≤160 vertices. (The vendored proptest
+/// stand-in has no `prop_oneof` and tuples cap at arity 6, so variants
+/// are chosen by sampled selectors inside one `prop_map`.)
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (any::<bool>(), 0u64..16, 0usize..3), // workload choice, SSSP source, graph choice
+        (4u32..7, 2usize..6),                 // R-MAT scale / edge factor
+        (16u64..80, 40usize..200),            // Erdős–Rényi n / m
+        (2u64..7, 6u64..24),                  // blob count / size
+        (1u64..1000, 2usize..7, 1usize..9, any::<bool>()), // graph seed, ranks, coalescing, wave
+        (1u64..1000, 200u64..3000, 0u64..40, 0u64..8000), // schedule seed, latency, per-msg, jitter
+    )
+        .prop_map(
+            |(
+                (sssp, source, gsel),
+                (scale, edge_factor),
+                (n, m),
+                (k, size),
+                (graph_seed, ranks, coalescing, wave),
+                (seed, lat, pm, jit),
+            )| {
+                let mut s = ScenarioSpec::baseline(seed);
+                // Smallest generated graph has 12 vertices; keep the
+                // source in range for every graph choice.
+                s.workload = if sssp {
+                    Workload::Sssp {
+                        source: source % 12,
+                    }
+                } else {
+                    Workload::Cc
+                };
+                s.graph = match gsel {
+                    0 => GraphKind::Rmat { scale, edge_factor },
+                    1 => GraphKind::ErdosRenyi { n, m },
+                    _ => GraphKind::Blobs { k, size },
+                };
+                s.graph_seed = graph_seed;
+                s.ranks = ranks;
+                s.coalescing = coalescing;
+                s.wave = wave;
+                s.latency_ns = lat;
+                s.per_msg_ns = pm;
+                s.jitter_ns = jit;
+                s
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same spec ⇒ same timeline, twice: results, flight digest, final
+    /// virtual clock, and event counts all reproduce exactly.
+    #[test]
+    fn scenarios_replay_bit_identically(spec in arb_spec()) {
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        prop_assert!(a.ok(), "{:?}", a.error);
+        prop_assert_eq!(a.result_digest, b.result_digest);
+        prop_assert_eq!(a.report.flight_digest, b.report.flight_digest);
+        prop_assert_eq!(a.report.virtual_time_ns, b.report.virtual_time_ns);
+        prop_assert_eq!(a.report.events, b.report.events);
+    }
+
+    /// The schedule seed perturbs delivery timing only: a different seed
+    /// must still converge to the identical result (SSSP and CC are
+    /// min fixed points — schedule-independent to the last bit), with the
+    /// mid-run invariant checker holding throughout both runs.
+    #[test]
+    fn results_are_schedule_independent(spec in arb_spec()) {
+        let a = run_scenario(&spec);
+        let mut other = spec.clone();
+        other.seed = spec.seed.wrapping_mul(31).wrapping_add(7);
+        let b = run_scenario(&other);
+        prop_assert!(a.ok(), "{:?}", a.error);
+        prop_assert!(b.ok(), "{:?}", b.error);
+        prop_assert_eq!(a.result_digest, b.result_digest);
+    }
+
+    /// A lossy partition that heals is invisible in the result: the
+    /// reliability layer recovers every dropped packet and receiver-side
+    /// dedup keeps the handlers exactly-once.
+    #[test]
+    fn healed_drop_partitions_recover_exactly(
+        spec in arb_spec(),
+        victim in 0usize..6,
+        onset in 100u64..5_000,
+    ) {
+        let clean = run_scenario(&spec);
+        prop_assert!(clean.ok(), "{:?}", clean.error);
+        let mut cut = spec.clone();
+        cut.faults = true;
+        cut.partitions.push(partition(
+            &[victim % cut.ranks],
+            SimAt::Time(onset),
+            SimAt::Time(onset + 2_000_000),
+            PartitionMode::Drop,
+        ));
+        let lossy = run_scenario(&cut);
+        prop_assert!(lossy.ok(), "{:?}", lossy.error);
+        prop_assert_eq!(lossy.result_digest, clean.result_digest);
+    }
+
+    /// Replay blocks round-trip arbitrary generated scenarios exactly.
+    #[test]
+    fn replay_blocks_round_trip(spec in arb_spec()) {
+        prop_assert_eq!(from_replay(&to_replay(&spec)).unwrap(), spec);
+    }
+}
+
+/// End-to-end minimization: a scenario that fails (here: an invariant
+/// tripwire standing in for a real bug — any `fails` predicate works)
+/// shrinks to a minimal spec that still fails, every irrelevant plan
+/// element stripped, and the shrunk spec's replay block parses back to
+/// the same scenario — the one-command repro the explorer attaches to
+/// failures.
+#[test]
+fn failing_scenarios_shrink_to_minimal_replayable_repros() {
+    let mut spec = ScenarioSpec::baseline(3);
+    spec.jitter_ns = 6_000;
+    spec.links.push((0, 1, 40_000));
+    spec.links.push((1, 0, 90));
+    spec.partitions.push(partition(
+        &[2],
+        SimAt::Epoch(1),
+        SimAt::Time(3_000_000),
+        PartitionMode::Hold,
+    ));
+    spec.stalls.push(dgp_am::StallSpec {
+        rank: 1,
+        at_ns: 5_000,
+        duration_ns: 400_000,
+    });
+    // The "bug": runs with a straggler trip it. (A synthetic predicate
+    // keeps the test fast and the expected minimum exactly known;
+    // `explore` wires `run_scenario` failures through the same path.)
+    spec.stragglers.push(dgp_am::StragglerSpec {
+        rank: 0,
+        factor: 30,
+    });
+    let fails = |s: &ScenarioSpec| s.stragglers.iter().any(|g| g.factor >= 10);
+
+    let min = shrink(&spec, fails);
+    assert!(fails(&min), "shrinking must preserve the failure");
+    assert!(min.partitions.is_empty(), "irrelevant partition kept");
+    assert!(min.stalls.is_empty(), "irrelevant stall kept");
+    assert!(min.links.is_empty(), "irrelevant links kept");
+    assert_eq!(min.jitter_ns, 0, "irrelevant jitter kept");
+    assert_eq!(min.stragglers.len(), 1);
+
+    let text = to_replay(&min);
+    let back = from_replay(&text).expect("replay block parses");
+    assert_eq!(back, min, "the minimal repro round-trips through text");
+    assert!(fails(&back), "the parsed repro still fails");
+}
