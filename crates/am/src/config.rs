@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::fault::FaultPlan;
+use crate::transport::TransportKind;
 
 /// Which termination-detection algorithm an epoch uses to decide that all
 /// activity has quiesced (see `termination` module docs for the algorithms).
@@ -107,6 +108,18 @@ pub struct MachineConfig {
     /// is on, a Chrome trace — into this directory before the error is
     /// returned.
     pub postmortem_dir: Option<PathBuf>,
+    /// Which backend moves envelopes between ranks (see
+    /// [`crate::transport`]). [`TransportKind::Inproc`] — the default —
+    /// is the original in-process channel path with zero added overhead;
+    /// `Shm` routes cross-rank envelopes through bounded shared-memory
+    /// rings; `Tcp` serializes framed packets over per-lane loopback/
+    /// network sockets with handshake, backpressure, and reconnection.
+    /// [`MachineConfig::new`] seeds this from the `DGP_TRANSPORT`
+    /// environment variable (`inproc`/`shm`/`tcp`) when it is set, so
+    /// whole test suites can be re-pointed at a backend without code
+    /// changes. Ignored by [`Machine::run_sim`](crate::Machine::run_sim),
+    /// which always uses the simulated event queue.
+    pub transport: TransportKind,
 }
 
 impl MachineConfig {
@@ -127,6 +140,7 @@ impl MachineConfig {
             trace_sampling: 64,
             trace_seed: 0,
             postmortem_dir: None,
+            transport: TransportKind::from_env(),
         }
     }
 
@@ -213,6 +227,14 @@ impl MachineConfig {
         self
     }
 
+    /// Select the transport backend explicitly (overriding any
+    /// `DGP_TRANSPORT` environment default; see
+    /// [`MachineConfig::transport`]).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.ranks >= 1, "a machine needs at least one rank");
         assert!(
@@ -229,6 +251,7 @@ impl MachineConfig {
         if let Some(d) = self.epoch_deadline {
             assert!(!d.is_zero(), "epoch deadline must be positive");
         }
+        self.transport.validate();
     }
 }
 
@@ -281,6 +304,19 @@ mod tests {
         assert!(c.trace_sampling > 0, "causal tracing samples by default");
         assert_eq!(c.trace_seed, 0, "seed derived from the fault plan");
         assert!(c.postmortem_dir.is_none());
+    }
+
+    #[test]
+    fn transport_defaults_to_inproc_and_chains() {
+        // (Ambient DGP_TRANSPORT would change the default; the test suite
+        // itself is what that knob re-points, so only assert the explicit
+        // builder here.)
+        let c = MachineConfig::new(2).transport(TransportKind::Inproc);
+        assert_eq!(c.transport, TransportKind::Inproc);
+        c.validate();
+        let c = MachineConfig::new(2).transport(TransportKind::Shm(crate::ShmConfig::default()));
+        assert!(matches!(c.transport, TransportKind::Shm(_)));
+        c.validate();
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub enum MachineError {
         /// Best-effort description of the inconsistency.
         message: String,
     },
+    /// A wire transport backend (see [`crate::transport`]) lost a peer
+    /// for good: the lane's connection could not be established — or
+    /// re-established within the configured reconnect budget — so
+    /// delivery on it can no longer be guaranteed. Transient disconnects
+    /// never surface here (the reliability layer masks them with
+    /// retransmit/dedup); this is the graceful-degradation terminal state
+    /// that replaces an indefinite hang.
+    Transport {
+        /// The rank that owns the failed lane (the sender side).
+        rank: RankId,
+        /// The unreachable peer rank (the lane's destination).
+        peer: RankId,
+        /// What the backend observed (handshake rejection, exhausted
+        /// reconnect attempts, bind failure, ...).
+        detail: String,
+    },
     /// A mid-run invariant installed via
     /// [`AmCtx::sim_invariant`](crate::AmCtx::sim_invariant) failed at a
     /// simulated logical-time checkpoint (sim mode only).
@@ -125,6 +141,10 @@ impl std::fmt::Display for MachineError {
             MachineError::Poisoned { message } => {
                 write!(f, "machine poisoned: {message}")
             }
+            MachineError::Transport { rank, peer, detail } => write!(
+                f,
+                "transport failure on rank {rank} (lane {rank}\u{2192}{peer}): {detail}"
+            ),
             MachineError::InvariantViolated {
                 epoch,
                 time_ns,
@@ -222,6 +242,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("1024 wake rounds"), "{s}");
         assert!(s.contains("sent=7"), "{s}");
+    }
+
+    #[test]
+    fn transport_display_names_the_lane() {
+        let e = MachineError::Transport {
+            rank: 2,
+            peer: 0,
+            detail: "reconnect budget exhausted after 5 attempts".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("2\u{2192}0"), "{s}");
+        assert!(s.contains("reconnect budget"), "{s}");
     }
 
     #[test]

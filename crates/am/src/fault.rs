@@ -107,6 +107,15 @@ pub struct FaultPlan {
     pub backoff_base: u64,
     /// Upper bound on the (exponentially growing) retransmission timeout.
     pub backoff_cap: u64,
+    /// Fraction of each retransmission timeout randomized away (`0.0` =
+    /// fully deterministic ticks, the default; `0.5` = timeouts uniform in
+    /// `[rto/2, rto]`). Jitter decorrelates the retransmit timers of
+    /// packets stranded together by one event — a reconnecting TCP peer,
+    /// a healed partition — so recovery does not arrive as a synchronized
+    /// burst. The perturbation is a pure hash of the packet coordinates
+    /// (same determinism discipline as the fault decisions), so sim-mode
+    /// runs stay bit-identical for a fixed plan.
+    pub backoff_jitter: f64,
     /// When set, only envelopes *sent by* these ranks are faulted.
     pub only_ranks: Option<Vec<RankId>>,
     /// When set, only envelopes of these message type ids are faulted.
@@ -130,9 +139,27 @@ impl FaultPlan {
             max_attempts: 12,
             backoff_base: 2,
             backoff_cap: 64,
+            backoff_jitter: 0.0,
             only_ranks: None,
             only_types: None,
         }
+    }
+
+    /// The plan installed automatically when a lossy wire backend (TCP)
+    /// is selected and no explicit plan is configured: injects nothing —
+    /// real sockets supply the faults — with retransmission timing tuned
+    /// for wall-clock ticks ([`Reliability::set_wall_clock`], 1 tick =
+    /// 100µs): first retransmit after ~20ms, capped at 200ms, 25% jitter
+    /// so a reconnect window's worth of stranded packets does not
+    /// retransmit as one synchronized burst. The base sits well above
+    /// loopback RTT because a rank mid-send-burst acks nothing until its
+    /// next pump — a shorter base turns every large epoch body into a
+    /// spurious retransmit storm.
+    pub fn wire_default() -> Self {
+        FaultPlan::new(0xD1A7_ED00)
+            .backoff_base(200)
+            .backoff_cap(2000)
+            .backoff_jitter(0.25)
     }
 
     /// The standard chaos preset: every fault class enabled at moderate
@@ -183,6 +210,26 @@ impl FaultPlan {
         self
     }
 
+    /// Set the initial retransmission timeout, in ticks.
+    pub fn backoff_base(mut self, ticks: u64) -> Self {
+        self.backoff_base = ticks;
+        self
+    }
+
+    /// Cap the exponentially growing retransmission timeout, in ticks.
+    pub fn backoff_cap(mut self, ticks: u64) -> Self {
+        self.backoff_cap = ticks;
+        self
+    }
+
+    /// Set the retransmission-timeout jitter fraction (see
+    /// [`FaultPlan::backoff_jitter`]); `0.0` keeps the deterministic
+    /// default.
+    pub fn backoff_jitter(mut self, fraction: f64) -> Self {
+        self.backoff_jitter = fraction;
+        self
+    }
+
     /// Restrict faults to envelopes sent by `ranks`.
     pub fn only_ranks(mut self, ranks: &[RankId]) -> Self {
         self.only_ranks = Some(ranks.to_vec());
@@ -217,6 +264,11 @@ impl FaultPlan {
         assert!(
             self.backoff_cap >= self.backoff_base,
             "backoff_cap must be at least backoff_base"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.backoff_jitter),
+            "backoff_jitter must be in [0, 1): {}",
+            self.backoff_jitter
         );
     }
 
@@ -346,8 +398,10 @@ impl LaneDedup {
 }
 
 /// The reliability layer: installed in [`Shared`] when
-/// [`MachineConfig::faults`](crate::MachineConfig::faults) is set. Sits
-/// between [`crate::machine::deliver`] and the per-rank inbox channels.
+/// [`MachineConfig::faults`](crate::MachineConfig::faults) is set, or
+/// automatically (with an inject-nothing plan) when a lossy wire
+/// transport is selected (see [`crate::transport`]). Sits between
+/// [`crate::machine::deliver`] and the per-rank inbox channels.
 /// One fault-layer tick in virtual nanoseconds when the machine runs
 /// under the discrete-event simulator. The pump-count clock is wrong
 /// there: the cooperative scheduler pumps every rank once per wake round
@@ -361,7 +415,19 @@ impl LaneDedup {
 /// scheduler's idle quantum.
 const SIM_TICK_NS: u64 = 1_000;
 
-pub(crate) struct Transport {
+/// One fault-layer tick in wall-clock nanoseconds when the machine runs
+/// over a wire transport (TCP or shared-memory rings; see
+/// [`Reliability::set_wall_clock`]). The pump-count clock is wrong there
+/// for the same reason it is wrong in sim mode, in the other direction:
+/// idle loops pump every ~100µs while a TCP ack round trip takes real
+/// time, so pump counts race far ahead of the physical RTT and every
+/// in-flight envelope times out before its ack can arrive — a retransmit
+/// storm on a healthy loopback connection. 1 tick = 100µs ≈ one idle
+/// `recv_timeout` quantum, so tick-denominated knobs keep roughly their
+/// threaded meaning.
+const WALL_TICK_NS: u64 = 100_000;
+
+pub(crate) struct Reliability {
     plan: FaultPlan,
     nranks: usize,
     /// Logical clock: advanced by every pump, from any rank. Unused in
@@ -370,6 +436,10 @@ pub(crate) struct Transport {
     /// Virtual clock mirror when running under the simulator; ticks are
     /// then `clock / SIM_TICK_NS` rather than pump counts.
     sim_clock: Option<std::sync::Arc<AtomicU64>>,
+    /// Wall-clock epoch when a wire transport is installed; ticks are
+    /// then `elapsed / WALL_TICK_NS` so retransmission timers measure
+    /// real time against real network round trips.
+    wall_base: Option<std::time::Instant>,
     /// Tie-breaker for the parked-flight queue.
     uid: AtomicU64,
     /// Next sequence number per directed lane (`from * nranks + to`).
@@ -386,18 +456,19 @@ pub(crate) struct Transport {
     held: Vec<Mutex<Vec<(u64, Flight)>>>,
 }
 
-impl Transport {
+impl Reliability {
     pub(crate) fn new(
         plan: FaultPlan,
         nranks: usize,
         sim_clock: Option<std::sync::Arc<AtomicU64>>,
     ) -> Self {
         let lanes = nranks * nranks;
-        Transport {
+        Reliability {
             plan,
             nranks,
             tick: AtomicU64::new(0),
             sim_clock,
+            wall_base: None,
             uid: AtomicU64::new(0),
             next_seq: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
             pending: (0..lanes).map(|_| Mutex::new(BTreeMap::new())).collect(),
@@ -409,19 +480,37 @@ impl Transport {
         }
     }
 
+    /// Switch the layer's logical clock from pump counts to wall time
+    /// (called once, before the machine starts, when a wire transport is
+    /// installed — see [`WALL_TICK_NS`]).
+    pub(crate) fn set_wall_clock(&mut self) {
+        self.wall_base = Some(std::time::Instant::now());
+    }
+
     fn lane(&self, from: RankId, to: RankId) -> usize {
         from * self.nranks + to
     }
 
     fn now(&self) -> u64 {
-        match &self.sim_clock {
-            Some(clock) => clock.load(SeqCst) / SIM_TICK_NS,
-            None => self.tick.load(SeqCst),
+        match (&self.sim_clock, &self.wall_base) {
+            (Some(clock), _) => clock.load(SeqCst) / SIM_TICK_NS,
+            (None, Some(base)) => base.elapsed().as_nanos() as u64 / WALL_TICK_NS,
+            (None, None) => self.tick.load(SeqCst),
         }
     }
 
-    fn rto(&self, attempts: u32) -> u64 {
-        (self.plan.backoff_base << attempts.min(16)).min(self.plan.backoff_cap)
+    /// Retransmission timeout for transmission `attempts` of a packet:
+    /// capped exponential backoff, optionally shortened by a deterministic
+    /// per-(lane, seq, attempt) jitter (see [`FaultPlan::backoff_jitter`]).
+    fn rto(&self, from: RankId, to: RankId, type_id: u32, seq: u64, attempts: u32) -> u64 {
+        let base = (self.plan.backoff_base << attempts.min(16)).min(self.plan.backoff_cap);
+        if self.plan.backoff_jitter == 0.0 {
+            return base;
+        }
+        let h = self.plan.mix(7, from, to, type_id, seq, attempts);
+        let u = ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let cut = (base as f64 * self.plan.backoff_jitter * u) as u64;
+        (base - cut).max(1)
     }
 
     /// Accept an outgoing envelope from the coalescing layer: sequence it,
@@ -437,7 +526,7 @@ impl Transport {
                 env: env.duplicate(),
                 type_id,
                 attempts: 0,
-                retransmit_at: self.now() + self.rto(0),
+                retransmit_at: self.now() + self.rto(from, to, type_id, seq, 0),
             },
         );
         let flight = Flight {
@@ -564,9 +653,10 @@ impl Transport {
     /// pending packets on this rank's outgoing lanes. Called from every
     /// idle/termination loop; liveness of recovery depends on it.
     pub(crate) fn pump(&self, shared: &Shared, rank: RankId) {
-        let now = match &self.sim_clock {
-            Some(clock) => clock.load(SeqCst) / SIM_TICK_NS,
-            None => self.tick.fetch_add(1, SeqCst) + 1,
+        let now = match (&self.sim_clock, &self.wall_base) {
+            (Some(clock), _) => clock.load(SeqCst) / SIM_TICK_NS,
+            (None, Some(base)) => base.elapsed().as_nanos() as u64 / WALL_TICK_NS,
+            (None, None) => self.tick.fetch_add(1, SeqCst) + 1,
         };
         // 1. Acks addressed to this rank retire pending copies.
         while let Some(ack) = shared.pop_ack(rank) {
@@ -615,7 +705,7 @@ impl Transport {
                     .filter(|(_, p)| p.retransmit_at <= now)
                     .map(|(seq, p)| {
                         p.attempts += 1;
-                        p.retransmit_at = now + self.rto(p.attempts);
+                        p.retransmit_at = now + self.rto(rank, to, p.type_id, *seq, p.attempts);
                         (
                             *seq,
                             Flight {
@@ -760,6 +850,56 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_rejected() {
         FaultPlan::new(0).drop(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff_jitter")]
+    fn invalid_jitter_rejected() {
+        FaultPlan::new(0).backoff_jitter(1.0).validate();
+    }
+
+    #[test]
+    fn zero_jitter_keeps_rto_exact() {
+        // The default plan must reproduce the historical deterministic
+        // backoff bit-for-bit (sim-mode replay digests depend on it).
+        let t = Reliability::new(FaultPlan::new(9), 2, None);
+        for attempts in 0..20u32 {
+            let expected = (2u64 << attempts.min(16)).min(64);
+            for seq in 1..4u64 {
+                assert_eq!(t.rto(0, 1, 0, seq, attempts), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_rtos_within_bounds() {
+        let t = Reliability::new(
+            FaultPlan::new(9).backoff_jitter(0.5).backoff_cap(1 << 20),
+            2,
+            None,
+        );
+        let attempts = 8u32;
+        let base = 2u64 << attempts;
+        let rtos: Vec<u64> = (1..200u64)
+            .map(|seq| t.rto(0, 1, 0, seq, attempts))
+            .collect();
+        assert!(rtos.iter().all(|&r| r >= base / 2 && r <= base), "{rtos:?}");
+        let distinct: std::collections::BTreeSet<u64> = rtos.iter().copied().collect();
+        assert!(distinct.len() > 20, "jitter should decorrelate timers");
+        // Deterministic: same coordinates, same timeout.
+        assert_eq!(t.rto(0, 1, 0, 7, attempts), t.rto(0, 1, 0, 7, attempts));
+    }
+
+    #[test]
+    fn jittered_rto_never_zero() {
+        let t = Reliability::new(
+            FaultPlan::new(1).backoff_base(1).backoff_jitter(0.99),
+            2,
+            None,
+        );
+        for seq in 1..500u64 {
+            assert!(t.rto(0, 1, 0, seq, 0) >= 1);
+        }
     }
 
     #[test]

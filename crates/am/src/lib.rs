@@ -51,6 +51,15 @@
 //!   [`PostMortem`] — merged timeline, unacked reliability lanes, and the
 //!   causal chain into the failing handler
 //!   ([`Machine::try_run_diagnosed`]).
+//! * **Pluggable transports** ([`transport`]): the rank-to-rank byte
+//!   path behind the delivery seam is a trait with three backends —
+//!   in-process channels (default, zero overhead), same-host bounded
+//!   shared-memory rings, and length-prefixed TCP over loopback with a
+//!   versioned handshake, per-lane bounded outbound queues, read/write
+//!   timeouts and capped-exponential reconnection. Over the lossy TCP
+//!   backend the reliability layer is auto-installed and masks real
+//!   disconnect/reconnect windows ([`TransportKind`],
+//!   [`MachineConfig::transport`], `DGP_TRANSPORT`).
 //! * **Deterministic discrete-event simulation** ([`sim`]): the same
 //!   machine over modeled links — per-link latency/jitter, partitions
 //!   that form and heal, stragglers, crash-recover stalls — driven by
@@ -115,6 +124,7 @@ pub mod sim;
 pub mod stats;
 pub mod termination;
 pub mod trace;
+pub mod transport;
 
 pub use addressing::AddressMap;
 pub use caching::CachingSender;
@@ -134,3 +144,4 @@ pub use stats::StatsSnapshot;
 pub use trace::{
     FailCause, FlightEvent, FlightKind, FlightRing, LaneBacklog, MergedEvent, PostMortem, TraceCtx,
 };
+pub use transport::{ShmConfig, TcpConfig, TransportError, TransportKind};

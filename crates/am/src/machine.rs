@@ -32,7 +32,7 @@ use crate::coalescing::{ErasedBuffers, TypedBuffers};
 use crate::collectives::Collective;
 use crate::config::{MachineConfig, TerminationMode};
 use crate::error::{panic_message, Abort, MachineError};
-use crate::fault::Transport;
+use crate::fault::{FaultPlan, Reliability};
 use crate::obs::{
     self, EpochProfile, EpochProfiler, MetricsReport, Recorder, SpanGuard, SpanKind, SpanRecord,
 };
@@ -236,9 +236,16 @@ pub(crate) struct Shared {
     /// Always-on per-epoch counter snapshotting (see [`crate::obs`]).
     epoch_prof: EpochProfiler,
     /// Reliability + fault-injection layer; installed when
-    /// [`MachineConfig::faults`] is set, `None` keeps the perfect
-    /// in-process transport.
-    transport: Option<Transport>,
+    /// [`MachineConfig::faults`] is set or when a lossy wire backend is
+    /// selected (then with an inject-nothing plan — see
+    /// [`FaultPlan::wire_default`]); `None` keeps the perfect in-process
+    /// transport.
+    reliability: Option<Reliability>,
+    /// Wire transport backend ([`MachineConfig::transport`]); `None` is
+    /// the inproc default — packets go straight into inbox channels —
+    /// and sim mode always runs with `None` (the event queue *is* its
+    /// transport).
+    wire: Option<Arc<dyn crate::transport::Transport>>,
     /// The first failure recorded on this machine (first-wins; see
     /// [`Shared::fail`]).
     failure: parking_lot::Mutex<Option<MachineError>>,
@@ -264,7 +271,11 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn new(cfg: MachineConfig, sim: Option<SimNet>) -> Self {
+    fn new(
+        cfg: MachineConfig,
+        sim: Option<SimNet>,
+        wire: Option<Arc<dyn crate::transport::Transport>>,
+    ) -> Self {
         let ranks = (0..cfg.ranks)
             .map(|_| {
                 let (tx, rx) = unbounded();
@@ -296,10 +307,23 @@ impl Shared {
         let obs = cfg
             .profile
             .then(|| Recorder::new(cfg.ranks, cfg.profile_spans));
-        let transport = cfg
-            .faults
-            .clone()
-            .map(|plan| Transport::new(plan, cfg.ranks, sim.as_ref().map(|s| s.clock.clone())));
+        // A lossy wire backend (TCP) makes the reliability layer
+        // load-bearing: install it with an inject-nothing plan when the
+        // user did not configure faults of their own, and — wire or
+        // faults either way — retime it to the wall clock, because pump
+        // counts race far ahead of real network round trips.
+        let fault_plan = cfg.faults.clone().or_else(|| {
+            wire.as_ref()
+                .is_some_and(|w| w.lossy())
+                .then(FaultPlan::wire_default)
+        });
+        let reliability = fault_plan.map(|plan| {
+            let mut r = Reliability::new(plan, cfg.ranks, sim.as_ref().map(|s| s.clock.clone()));
+            if sim.is_none() && wire.is_some() {
+                r.set_wall_clock();
+            }
+            r
+        });
         // Chaos runs trace reproducibly with no extra wiring: an explicit
         // trace seed wins, otherwise the fault plan's seed (when one is
         // installed), otherwise a fixed constant.
@@ -317,7 +341,8 @@ impl Shared {
         };
         Shared {
             sim,
-            transport,
+            reliability,
+            wire,
             flight,
             trace_eid: AtomicU64::new(0),
             trace_seed,
@@ -424,6 +449,14 @@ impl Shared {
             sim.enqueue_packet(dest, pkt);
             return;
         }
+        // Wire backends carry only cross-rank traffic; self-sends keep
+        // the direct channel path on every backend.
+        if pkt.from != dest {
+            if let Some(wire) = &self.wire {
+                wire.send_packet(self, dest, pkt);
+                return;
+            }
+        }
         self.deliver_direct(dest, pkt);
     }
 
@@ -449,6 +482,14 @@ impl Shared {
             sim.enqueue_ack(dest, ack);
             return;
         }
+        // `ack.to` is the rank acknowledging (the ack's origin); a
+        // self-ack stays on the direct path.
+        if ack.to != dest {
+            if let Some(wire) = &self.wire {
+                wire.send_ack(self, dest, ack);
+                return;
+            }
+        }
         self.ack_direct(dest, ack);
     }
 
@@ -469,6 +510,25 @@ impl Shared {
     /// Drain one pending acknowledgement addressed to `rank`.
     pub(crate) fn pop_ack(&self, rank: RankId) -> Option<Ack> {
         self.ranks[rank].ack_rx.try_recv().ok()
+    }
+
+    /// Wire-backend delivery into `dest`'s inbox: the *tolerant* variant
+    /// of [`Shared::deliver_direct`]. Backend threads are not rank
+    /// threads — a closed channel during teardown means the message is
+    /// moot, so it is dropped instead of unwinding into the backend.
+    pub(crate) fn wire_deliver(&self, dest: RankId, pkt: Packet) {
+        let _ = self.ranks[dest].tx.send(pkt);
+    }
+
+    /// Tolerant wire-backend ack delivery (see [`Shared::wire_deliver`]).
+    pub(crate) fn wire_ack(&self, dest: RankId, ack: Ack) {
+        let _ = self.ranks[dest].ack_tx.send(ack);
+    }
+
+    /// Whether wire-backend threads should stop doing work: the machine
+    /// is shutting down or has been poisoned by a failure.
+    pub(crate) fn wire_should_exit(&self) -> bool {
+        self.shutdown.load(SeqCst) || self.poisoned.load(SeqCst)
     }
 
     /// Send a termination-control token from `from` to `dest`
@@ -508,7 +568,7 @@ impl Shared {
     /// Pump the reliability layer on behalf of `rank` (no-op on the
     /// perfect transport).
     fn pump_transport(&self, rank: RankId) {
-        if let Some(t) = &self.transport {
+        if let Some(t) = &self.reliability {
             t.pump(self, rank);
         }
     }
@@ -535,7 +595,7 @@ pub(crate) fn deliver(shared: &Shared, from: RankId, dest: RankId, env: Envelope
         }
         ring.events.push_back(ev);
     }
-    match &shared.transport {
+    match &shared.reliability {
         // Reliability layer installed: sequence the envelope, stash a
         // retransmit copy, and put it through the fault plan.
         Some(t) => t.send(shared, from, dest, env),
@@ -816,7 +876,38 @@ impl Machine {
         // Simulated rank threads get small stacks: at 4096 ranks the
         // default 8 MiB would reserve 32 GiB of address space.
         let sim_stack = net.as_ref().map(|n| n.plan().stack_size);
-        let shared = Arc::new(Shared::new(cfg.clone(), net));
+        // Wire backend: built (and, for TCP, bound) before the Shared
+        // exists so every dial has a live acceptor; sim mode always runs
+        // wireless — its event queue is the transport being modeled.
+        let wire = if net.is_none() {
+            match crate::transport::build(&cfg.transport, cfg.ranks) {
+                Ok(w) => w,
+                Err(e) => {
+                    let err = e.into_machine_error();
+                    let pm = Box::new(PostMortem::assemble(
+                        err.to_string(),
+                        None,
+                        0,
+                        0,
+                        Vec::new(),
+                        Vec::new(),
+                    ));
+                    return Err((err, None, pm, None));
+                }
+            }
+        } else {
+            None
+        };
+        let shared = Arc::new(Shared::new(cfg.clone(), net, wire));
+        if let Some(wire) = shared.wire.clone() {
+            if let Err(e) = wire.start(&shared) {
+                wire.shutdown();
+                let err = e.into_machine_error();
+                let pm = assemble_postmortem(&shared, &err);
+                write_postmortem(&shared, &pm);
+                return Err((err, None, pm, None));
+            }
+        }
         let nranks = cfg.ranks;
         let workers_per_rank = cfg.threads_per_rank - 1;
         let mut results: Vec<Option<R>> = (0..nranks).map(|_| None).collect();
@@ -852,7 +943,9 @@ impl Machine {
                                 return None;
                             }
                             debug_assert!(
-                                shared.transport.is_some() || shared.ranks[rank].rx.is_empty(),
+                                shared.reliability.is_some()
+                                    || shared.wire.is_some()
+                                    || shared.ranks[rank].rx.is_empty(),
                                 "rank {rank} has unhandled messages after its last epoch \
                                  — termination detection fired early"
                             );
@@ -906,6 +999,12 @@ impl Machine {
             // the workers wake up and exit before the scope joins them.
             shared.shutdown.store(true, SeqCst);
         });
+        // Every rank thread has exited; stop and join the wire backend's
+        // threads (they hold their own Arc<Shared> clones, so this also
+        // breaks the only reference path that could outlive the run).
+        if let Some(wire) = &shared.wire {
+            wire.shutdown();
+        }
         // Truncated span traces must not be silently misleading: one line,
         // once per run, only when it actually happened.
         if let Some(rec) = &shared.obs {
@@ -949,7 +1048,7 @@ impl Machine {
 /// runs, which is what makes reading the collector race-free.
 fn assemble_postmortem(shared: &Shared, err: &MachineError) -> Box<PostMortem> {
     let unacked = shared
-        .transport
+        .reliability
         .as_ref()
         .map(|t| t.backlog())
         .unwrap_or_default();
@@ -1110,6 +1209,26 @@ impl AmCtx {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.shared.cfg
+    }
+
+    /// The active transport backend's name: `"inproc"` (the channel
+    /// default and sim mode), `"shm"`, or `"tcp"`.
+    pub fn transport_name(&self) -> &'static str {
+        match &self.shared.wire {
+            Some(w) => w.name(),
+            None => "inproc",
+        }
+    }
+
+    /// The wire backend's listening socket addresses, indexed by rank
+    /// (empty for backends without sockets). Lets harnesses aim
+    /// adversarial connections at a live machine's acceptors.
+    pub fn transport_endpoints(&self) -> Vec<std::net::SocketAddr> {
+        self.shared
+            .wire
+            .as_ref()
+            .map(|w| w.endpoints())
+            .unwrap_or_default()
     }
 
     /// Whether an epoch is currently active anywhere on the machine.
@@ -1621,8 +1740,9 @@ impl AmCtx {
             // Under fault injection the inbox may legitimately hold
             // in-flight *duplicates* (the dedup layer will suppress them);
             // the counter balance must hold either way.
-            let inbox_clear =
-                self.shared.transport.is_some() || self.shared.ranks[self.rank].rx.is_empty();
+            let inbox_clear = self.shared.reliability.is_some()
+                || self.shared.wire.is_some()
+                || self.shared.ranks[self.rank].rx.is_empty();
             debug_assert!(
                 inbox_clear && h == s,
                 "epoch {my_gen} on rank {} ended non-quiescent (handled={h}, sent={s})",
@@ -1770,7 +1890,7 @@ impl AmCtx {
     /// handler.
     pub(crate) fn handle_packet(&self, pkt: Packet) {
         if pkt.seq != 0 {
-            if let Some(t) = &self.shared.transport {
+            if let Some(t) = &self.shared.reliability {
                 // Ack *every* receipt, including duplicates: the original
                 // ack may have been the thing that was lost.
                 t.ack(&self.shared, pkt.from, self.rank, pkt.env.type_id, pkt.seq);

@@ -622,7 +622,11 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
          \"reduction_forwards\":{},\"epochs\":{},\"control_tokens\":{},\
          \"trace_dropped\":{},\"trace_roots\":{},\"injected_drops\":{},\
          \"injected_dups\":{},\"injected_delays\":{},\"injected_reorders\":{},\
-         \"retransmits\":{},\"acks\":{},\"dups_suppressed\":{}}}",
+         \"retransmits\":{},\"acks\":{},\"dups_suppressed\":{},\
+         \"transport_bytes_sent\":{},\"transport_bytes_received\":{},\
+         \"transport_frames_sent\":{},\"transport_frames_received\":{},\
+         \"transport_reconnects\":{},\"transport_handshake_failures\":{},\
+         \"transport_frame_errors\":{},\"transport_backpressure_stalls\":{}}}",
         s.messages_sent,
         s.envelopes_sent,
         s.messages_handled,
@@ -641,6 +645,14 @@ fn stats_json(s: &StatsSnapshot, out: &mut String) {
         s.retransmits,
         s.acks,
         s.dups_suppressed,
+        s.transport_bytes_sent,
+        s.transport_bytes_received,
+        s.transport_frames_sent,
+        s.transport_frames_received,
+        s.transport_reconnects,
+        s.transport_handshake_failures,
+        s.transport_frame_errors,
+        s.transport_backpressure_stalls,
     ));
 }
 

@@ -64,6 +64,30 @@ pub struct MachineStats {
     /// Envelopes discarded by receiver-side sequence dedup (exactly-once
     /// delivery under duplicate/retransmit faults).
     pub dups_suppressed: AtomicU64,
+    /// Payload bytes written to a wire transport (TCP frames; zero for
+    /// the in-process and shared-memory backends, which move envelopes
+    /// without serializing).
+    pub transport_bytes_sent: AtomicU64,
+    /// Payload bytes read off a wire transport.
+    pub transport_bytes_received: AtomicU64,
+    /// Frames (packets + acks) handed to a wire transport backend.
+    pub transport_frames_sent: AtomicU64,
+    /// Frames delivered by a wire transport backend into rank inboxes.
+    pub transport_frames_received: AtomicU64,
+    /// Connection (re)establishment attempts after the initial dial of a
+    /// lane — each one also records a `SpanKind::Transport` "reconnect"
+    /// span when profiling is on.
+    pub transport_reconnects: AtomicU64,
+    /// Handshakes rejected (bad magic, version mismatch, wrong lane) on
+    /// either side of a wire connection.
+    pub transport_handshake_failures: AtomicU64,
+    /// Malformed frames observed by a wire receiver (oversized length
+    /// prefix, truncated body, unknown kind); each one costs the
+    /// connection, and the reliability layer recovers the contents.
+    pub transport_frame_errors: AtomicU64,
+    /// Times a sender blocked because a peer's bounded outbound queue or
+    /// ring was full (backpressure).
+    pub transport_backpressure_stalls: AtomicU64,
 }
 
 impl MachineStats {
@@ -93,6 +117,16 @@ impl MachineStats {
             retransmits: self.retransmits.load(Ordering::SeqCst),
             acks: self.acks.load(Ordering::SeqCst),
             dups_suppressed: self.dups_suppressed.load(Ordering::SeqCst),
+            transport_bytes_sent: self.transport_bytes_sent.load(Ordering::SeqCst),
+            transport_bytes_received: self.transport_bytes_received.load(Ordering::SeqCst),
+            transport_frames_sent: self.transport_frames_sent.load(Ordering::SeqCst),
+            transport_frames_received: self.transport_frames_received.load(Ordering::SeqCst),
+            transport_reconnects: self.transport_reconnects.load(Ordering::SeqCst),
+            transport_handshake_failures: self.transport_handshake_failures.load(Ordering::SeqCst),
+            transport_frame_errors: self.transport_frame_errors.load(Ordering::SeqCst),
+            transport_backpressure_stalls: self
+                .transport_backpressure_stalls
+                .load(Ordering::SeqCst),
         }
     }
 }
@@ -178,6 +212,22 @@ pub struct StatsSnapshot {
     pub acks: u64,
     /// Envelopes suppressed by receiver-side sequence dedup.
     pub dups_suppressed: u64,
+    /// Payload bytes written to a wire transport.
+    pub transport_bytes_sent: u64,
+    /// Payload bytes read off a wire transport.
+    pub transport_bytes_received: u64,
+    /// Frames (packets + acks) handed to a wire transport backend.
+    pub transport_frames_sent: u64,
+    /// Frames delivered by a wire transport backend.
+    pub transport_frames_received: u64,
+    /// Connection re-establishment attempts after the initial dial.
+    pub transport_reconnects: u64,
+    /// Handshakes rejected on either side of a wire connection.
+    pub transport_handshake_failures: u64,
+    /// Malformed frames observed by a wire receiver.
+    pub transport_frame_errors: u64,
+    /// Times a sender blocked on a full peer queue or ring.
+    pub transport_backpressure_stalls: u64,
 }
 
 impl StatsSnapshot {
@@ -233,6 +283,30 @@ impl StatsSnapshot {
             retransmits: self.retransmits.saturating_sub(earlier.retransmits),
             acks: self.acks.saturating_sub(earlier.acks),
             dups_suppressed: self.dups_suppressed.saturating_sub(earlier.dups_suppressed),
+            transport_bytes_sent: self
+                .transport_bytes_sent
+                .saturating_sub(earlier.transport_bytes_sent),
+            transport_bytes_received: self
+                .transport_bytes_received
+                .saturating_sub(earlier.transport_bytes_received),
+            transport_frames_sent: self
+                .transport_frames_sent
+                .saturating_sub(earlier.transport_frames_sent),
+            transport_frames_received: self
+                .transport_frames_received
+                .saturating_sub(earlier.transport_frames_received),
+            transport_reconnects: self
+                .transport_reconnects
+                .saturating_sub(earlier.transport_reconnects),
+            transport_handshake_failures: self
+                .transport_handshake_failures
+                .saturating_sub(earlier.transport_handshake_failures),
+            transport_frame_errors: self
+                .transport_frame_errors
+                .saturating_sub(earlier.transport_frame_errors),
+            transport_backpressure_stalls: self
+                .transport_backpressure_stalls
+                .saturating_sub(earlier.transport_backpressure_stalls),
         }
     }
 }

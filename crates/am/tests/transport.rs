@@ -1,0 +1,310 @@
+//! Transport backend tests: the pluggable byte path under the delivery
+//! seam (INTERNALS §12) must preserve the machine's exactly-once
+//! guarantee on every backend, surface its health in the machine
+//! statistics, mask real TCP connection loss through the reliability
+//! layer, and convert every unrecoverable or adversarial condition into
+//! a structured [`MachineError::Transport`] — never a hang, never a
+//! panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dgp_am::{
+    Machine, MachineConfig, MachineError, ShmConfig, StatsSnapshot, TcpConfig, TransportKind,
+};
+
+/// Ring-chain workload (same shape as the chaos suite): every rank
+/// starts a `hops`-hop chain; handlers forward around the ring. Returns
+/// (total handler invocations, rank 0's stats snapshot).
+fn ring_chain(cfg: MachineConfig, hops: u64) -> (u64, StatsSnapshot) {
+    let hits = Arc::new(AtomicU64::new(0));
+    let h2 = hits.clone();
+    let out = Machine::run(cfg, move |ctx| {
+        let hits = h2.clone();
+        let mt = ctx.register(move |ctx, left: u64| {
+            hits.fetch_add(1, SeqCst);
+            if left > 0 {
+                let next = (ctx.rank() + 1) % ctx.num_ranks();
+                ctx.send(next, left - 1);
+            }
+        });
+        ctx.epoch(|ctx| {
+            mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), hops - 1);
+        });
+        ctx.stats()
+    });
+    (hits.load(SeqCst), out.into_iter().next().unwrap())
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory backend
+// ---------------------------------------------------------------------
+
+#[test]
+fn shm_preserves_exactly_once_and_counts_frames() {
+    let cfg = MachineConfig::new(4)
+        .coalescing(4)
+        .transport(TransportKind::Shm(ShmConfig::default()));
+    let (hits, stats) = ring_chain(cfg, 200);
+    assert_eq!(hits, 4 * 200, "lost or duplicated handler runs over shm");
+    assert_eq!(stats.messages_handled, stats.messages_sent);
+    // Cross-rank envelopes crossed the rings and were accounted.
+    assert!(stats.transport_frames_sent > 0, "no frames counted");
+    assert_eq!(
+        stats.transport_frames_sent, stats.transport_frames_received,
+        "shm is lossless: every accepted frame must be delivered"
+    );
+}
+
+#[test]
+fn shm_tiny_ring_applies_backpressure_without_losing_messages() {
+    // A one-slot ring with coalescing disabled: every cross-rank send is
+    // its own frame and producers constantly find the ring full.
+    let cfg = MachineConfig::new(4)
+        .coalescing(1)
+        .transport(TransportKind::Shm(ShmConfig::default().ring_capacity(1)));
+    let (hits, stats) = ring_chain(cfg, 300);
+    assert_eq!(hits, 4 * 300, "backpressure must block, not drop");
+    assert!(
+        stats.transport_backpressure_stalls > 0,
+        "a 1-slot ring under 4 producers never stalled"
+    );
+}
+
+#[test]
+fn shm_reports_its_name() {
+    let cfg = MachineConfig::new(2).transport(TransportKind::Shm(ShmConfig::default()));
+    let names = Machine::run(cfg, |ctx| ctx.transport_name());
+    assert_eq!(names, vec!["shm", "shm"]);
+}
+
+// ---------------------------------------------------------------------
+// TCP backend — happy path and connection loss
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_preserves_exactly_once_and_counts_bytes() {
+    let cfg = MachineConfig::new(3)
+        .coalescing(4)
+        .transport(TransportKind::Tcp(TcpConfig::default()));
+    let (hits, stats) = ring_chain(cfg, 150);
+    assert_eq!(hits, 3 * 150, "lost or duplicated handler runs over tcp");
+    assert_eq!(stats.messages_handled, stats.messages_sent);
+    assert!(stats.transport_frames_sent > 0);
+    assert!(stats.transport_frames_received > 0);
+    assert!(
+        stats.transport_bytes_sent > stats.transport_frames_sent,
+        "every frame carries a length prefix plus a body"
+    );
+    assert!(stats.transport_bytes_received > 0);
+}
+
+#[test]
+fn tcp_reports_name_and_endpoints() {
+    let cfg = MachineConfig::new(2).transport(TransportKind::Tcp(TcpConfig::default()));
+    let eps = Machine::run(cfg, |ctx| {
+        assert_eq!(ctx.transport_name(), "tcp");
+        ctx.transport_endpoints()
+    });
+    assert_eq!(eps[0].len(), 2, "one loopback endpoint per rank");
+    assert_eq!(eps[0], eps[1], "all ranks see the same endpoint table");
+    for ep in &eps[0] {
+        assert!(ep.ip().is_loopback());
+    }
+}
+
+/// The tentpole guarantee: forcibly drop connections mid-run (the kill
+/// harness discards every Nth received frame, then closes the
+/// connection) and the run still completes exactly-once, with the
+/// reliability layer's retransmits masking the loss and the writers
+/// re-dialing. The statistics must prove both actually happened.
+#[test]
+fn tcp_masks_killed_connections_with_retransmits() {
+    let cfg = MachineConfig::new(3)
+        .coalescing(4)
+        .transport(TransportKind::Tcp(TcpConfig::default().kill_rx_every(40)));
+    let (hits, stats) = ring_chain(cfg, 400);
+    assert_eq!(hits, 3 * 400, "connection loss leaked through to handlers");
+    assert_eq!(stats.messages_handled, stats.messages_sent);
+    assert!(
+        stats.retransmits > 0,
+        "killed frames were never retransmitted — the kill harness is inert"
+    );
+    assert!(
+        stats.transport_reconnects > 0,
+        "killed connections were never re-established"
+    );
+}
+
+// ---------------------------------------------------------------------
+// TCP backend — structured failure, never a hang
+// ---------------------------------------------------------------------
+
+/// Run `f` and insist it returns (rather than hangs) within a generous
+/// bound — these tests exist to prove failure paths terminate.
+fn bounded<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("transport failure path hung instead of erroring")
+}
+
+#[test]
+fn tcp_version_mismatch_is_a_structured_error() {
+    let err = bounded(|| {
+        Machine::try_run(
+            MachineConfig::new(2)
+                .transport(TransportKind::Tcp(TcpConfig::default().claim_version(99))),
+            |ctx| {
+                let mt = ctx.register(|_ctx, _x: u64| {});
+                ctx.epoch(|ctx| {
+                    mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), 1u64);
+                });
+            },
+        )
+        .expect_err("a rejected handshake must fail the machine")
+    });
+    match err {
+        MachineError::Transport { rank, peer, detail } => {
+            assert!(detail.contains("version mismatch"), "{detail}");
+            assert_ne!(rank, peer, "the failing lane is a cross-rank lane");
+        }
+        other => panic!("expected MachineError::Transport, got {other}"),
+    }
+}
+
+#[test]
+fn tcp_reconnect_budget_exhaustion_is_a_structured_error() {
+    // Every connection dies after one frame, and there is no reconnect
+    // budget: the first lost connection must surface as an error.
+    let start = Instant::now();
+    let err = bounded(|| {
+        Machine::try_run(
+            MachineConfig::new(2)
+                .coalescing(1)
+                .transport(TransportKind::Tcp(
+                    TcpConfig::default().kill_rx_every(1).max_reconnects(0),
+                )),
+            |ctx| {
+                let mt = ctx.register(|_ctx, _x: u64| {});
+                ctx.epoch(|ctx| {
+                    for x in 0..50u64 {
+                        mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), x);
+                    }
+                });
+            },
+        )
+        .expect_err("exhausted reconnect budget must fail the machine")
+    });
+    match err {
+        MachineError::Transport { detail, .. } => {
+            assert!(
+                detail.contains("reconnect budget") || detail.contains("no reconnect budget"),
+                "{detail}"
+            );
+        }
+        other => panic!("expected MachineError::Transport, got {other}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "failure took implausibly long to surface"
+    );
+}
+
+// ---------------------------------------------------------------------
+// TCP backend — adversarial connections
+// ---------------------------------------------------------------------
+
+/// Ring-chain over TCP while rank 0 plays the adversary: before the
+/// epoch it connects a rogue socket to rank 1's listener and feeds it
+/// `rogue` bytes (after optionally completing a valid handshake). The
+/// machine must finish the workload exactly-once regardless.
+fn run_with_rogue(handshake_first: bool, rogue: Vec<u8>) -> (u64, StatsSnapshot) {
+    let hits = Arc::new(AtomicU64::new(0));
+    let h2 = hits.clone();
+    let out = Machine::run(
+        MachineConfig::new(2)
+            .coalescing(4)
+            .transport(TransportKind::Tcp(TcpConfig::default())),
+        move |ctx| {
+            let hits = h2.clone();
+            if ctx.rank() == 0 {
+                let target = ctx.transport_endpoints()[1];
+                let mut s = TcpStream::connect(target).expect("rogue connect");
+                if handshake_first {
+                    // A well-formed hello for lane 0 -> 1 (duplicate
+                    // connections for a lane are legal — reconnects
+                    // create them too), then the hostile payload.
+                    let mut hello = Vec::new();
+                    hello.extend_from_slice(&0x5450_4744u32.to_le_bytes());
+                    hello.extend_from_slice(&1u32.to_le_bytes()); // version
+                    hello.extend_from_slice(&0u32.to_le_bytes()); // from
+                    hello.extend_from_slice(&1u32.to_le_bytes()); // to
+                    s.write_all(&hello).expect("rogue hello");
+                    let mut reply = [0u8; 8];
+                    s.read_exact(&mut reply).expect("rogue reply");
+                    assert_eq!(reply[0], 0, "valid hello must be accepted");
+                }
+                s.write_all(&rogue).expect("rogue payload");
+                // Leave the socket open briefly so the victim reads the
+                // payload rather than a racing reset, then drop it.
+                std::thread::sleep(Duration::from_millis(50));
+                drop(s);
+            }
+            let mt = ctx.register(move |ctx, left: u64| {
+                hits.fetch_add(1, SeqCst);
+                if left > 0 {
+                    let next = (ctx.rank() + 1) % ctx.num_ranks();
+                    ctx.send(next, left - 1);
+                }
+            });
+            ctx.epoch(|ctx| {
+                mt.send(ctx, (ctx.rank() + 1) % ctx.num_ranks(), 99);
+            });
+            ctx.stats()
+        },
+    );
+    (hits.load(SeqCst), out.into_iter().next().unwrap())
+}
+
+#[test]
+fn tcp_rejects_rogue_handshake_without_failing_the_run() {
+    // 16 bytes of garbage where a hello should be: rejected and counted,
+    // the real workload unharmed.
+    let (hits, stats) = run_with_rogue(false, vec![0xAB; 16]);
+    assert_eq!(hits, 2 * 100);
+    assert!(
+        stats.transport_handshake_failures > 0,
+        "rogue hello was not counted"
+    );
+}
+
+#[test]
+fn tcp_closes_connection_on_oversized_frame() {
+    // Valid handshake, then a length prefix far beyond max_frame.
+    let (hits, stats) = run_with_rogue(true, u32::MAX.to_le_bytes().to_vec());
+    assert_eq!(hits, 2 * 100);
+    assert!(
+        stats.transport_frame_errors > 0,
+        "oversized frame was not counted"
+    );
+}
+
+#[test]
+fn tcp_closes_connection_on_truncated_frame() {
+    // Valid handshake, then a frame that promises 57 bytes and delivers
+    // 10 before the connection drops.
+    let mut rogue = 57u32.to_le_bytes().to_vec();
+    rogue.extend_from_slice(&[0x01; 10]);
+    let (hits, stats) = run_with_rogue(true, rogue);
+    assert_eq!(hits, 2 * 100);
+    assert!(
+        stats.transport_frame_errors > 0,
+        "truncated frame was not counted"
+    );
+}

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dgp_algorithms::{seq, SsspStrategy};
-use dgp_am::{Machine, MachineConfig};
+use dgp_am::{Machine, MachineConfig, ShmConfig, StatsSnapshot, TcpConfig, TransportKind};
 
 use crate::measure;
 use crate::workloads;
@@ -74,7 +74,13 @@ pub struct BenchReport {
 /// every rank (self included) in one epoch. Returns `(messages, millis)`.
 pub fn all_to_all(ranks: usize, per_rank: u64, coalescing: usize) -> (u64, f64) {
     let t0 = Instant::now();
-    Machine::run(MachineConfig::new(ranks).coalescing(coalescing), |ctx| {
+    // Pinned to the in-process transport: the BENCH_* trajectory (and the
+    // CI smoke floor) must not move when DGP_TRANSPORT is set — the
+    // per-backend comparison lives in `transport_rows`.
+    let cfg = MachineConfig::new(ranks)
+        .coalescing(coalescing)
+        .transport(TransportKind::Inproc);
+    Machine::run(cfg, |ctx| {
         let mt = ctx.register_named("storm", |_ctx, _x: u64| {});
         ctx.epoch(|ctx| {
             let n = ctx.num_ranks();
@@ -94,7 +100,10 @@ pub fn ping_pong(chains: u64, hops: u64, coalescing: usize) -> (u64, f64) {
     let count = Arc::new(AtomicU64::new(0));
     let c2 = count.clone();
     let t0 = Instant::now();
-    Machine::run(MachineConfig::new(2).coalescing(coalescing), move |ctx| {
+    let cfg = MachineConfig::new(2)
+        .coalescing(coalescing)
+        .transport(TransportKind::Inproc);
+    Machine::run(cfg, move |ctx| {
         let count = c2.clone();
         let mt = ctx.register_named("pingpong", move |ctx, left: u64| {
             count.fetch_add(1, Relaxed);
@@ -113,6 +122,139 @@ pub fn ping_pong(chains: u64, hops: u64, coalescing: usize) -> (u64, f64) {
     });
     let millis = t0.elapsed().as_secs_f64() * 1e3;
     (count.load(Relaxed), millis)
+}
+
+/// All-to-all storm on a caller-supplied config (any transport backend),
+/// returning rank 0's stats alongside the count and wall time.
+pub fn all_to_all_stats(cfg: MachineConfig, per_rank: u64) -> (u64, f64, StatsSnapshot) {
+    let ranks = cfg.ranks;
+    let t0 = Instant::now();
+    let out = Machine::run(cfg, move |ctx| {
+        let mt = ctx.register_named("storm", |_ctx, _x: u64| {});
+        ctx.epoch(|ctx| {
+            let n = ctx.num_ranks();
+            for i in 0..per_rank {
+                mt.send(ctx, (i as usize) % n, i);
+            }
+        });
+        ctx.stats()
+    });
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = out.into_iter().next().unwrap();
+    (ranks as u64 * per_rank, millis, stats)
+}
+
+/// One per-backend throughput row (`BENCH_8.json` / EXPERIMENTS E16).
+#[derive(Debug, Clone)]
+pub struct TransportPoint {
+    /// Backend label (`inproc`, `shm`, `tcp`, `tcp+kill`).
+    pub backend: String,
+    /// Ranks in the machine.
+    pub ranks: usize,
+    /// Coalescing capacity used.
+    pub coalescing: usize,
+    /// Total logical messages carried.
+    pub messages: u64,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+    /// Logical messages per second.
+    pub msgs_per_sec: f64,
+    /// Transport frames accepted for sending.
+    pub frames_sent: u64,
+    /// Sends that blocked on a full ring or lane queue.
+    pub backpressure_stalls: u64,
+    /// Connections re-established mid-run (tcp only).
+    pub reconnects: u64,
+    /// Reliability-layer retransmissions (lossy backends only).
+    pub retransmits: u64,
+}
+
+/// The backends the transport comparison sweeps: the three clean
+/// backends, plus TCP with the kill harness forcibly closing every
+/// connection after its 50th received frame.
+pub fn transport_backends() -> Vec<(&'static str, TransportKind)> {
+    vec![
+        ("inproc", TransportKind::Inproc),
+        ("shm", TransportKind::Shm(ShmConfig::default())),
+        ("tcp", TransportKind::Tcp(TcpConfig::default())),
+        (
+            "tcp+kill",
+            TransportKind::Tcp(TcpConfig::default().kill_rx_every(50)),
+        ),
+    ]
+}
+
+/// Measure the all-to-all storm over every transport backend.
+pub fn transport_rows(small: bool) -> Vec<TransportPoint> {
+    let per_rank: u64 = if small { 20_000 } else { 100_000 };
+    transport_backends()
+        .into_iter()
+        .map(|(name, kind)| {
+            let cfg = MachineConfig::new(HEADLINE_RANKS)
+                .coalescing(HEADLINE_COALESCING)
+                .transport(kind);
+            let (messages, millis, stats) = all_to_all_stats(cfg, per_rank);
+            TransportPoint {
+                backend: name.to_string(),
+                ranks: HEADLINE_RANKS,
+                coalescing: HEADLINE_COALESCING,
+                messages,
+                millis,
+                msgs_per_sec: messages as f64 / (millis / 1e3),
+                frames_sent: stats.transport_frames_sent,
+                backpressure_stalls: stats.transport_backpressure_stalls,
+                reconnects: stats.transport_reconnects,
+                retransmits: stats.retransmits,
+            }
+        })
+        .collect()
+}
+
+/// The transport comparison document (`BENCH_8.json`).
+#[derive(Debug, Clone)]
+pub struct TransportReport {
+    /// One row per backend.
+    pub transports: Vec<TransportPoint>,
+}
+
+/// Run the transport sweep and assemble the report.
+pub fn collect_transports(small: bool) -> TransportReport {
+    TransportReport {
+        transports: transport_rows(small),
+    }
+}
+
+impl TransportReport {
+    /// Serialize as a stable, dependency-free JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": 1,\n  \"kind\": \"transport\",\n  \"transports\": [\n");
+        for (i, p) in self.transports.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"ranks\": {}, \"coalescing\": {}, \
+                 \"messages\": {}, \"millis\": {:.3}, \"msgs_per_sec\": {:.0}, \
+                 \"frames_sent\": {}, \"backpressure_stalls\": {}, \
+                 \"reconnects\": {}, \"retransmits\": {}}}{}\n",
+                p.backend,
+                p.ranks,
+                p.coalescing,
+                p.messages,
+                p.millis,
+                p.msgs_per_sec,
+                p.frames_sent,
+                p.backpressure_stalls,
+                p.reconnects,
+                p.retransmits,
+                if i + 1 < self.transports.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 fn rate(scenario: &str, ranks: usize, coalescing: usize, messages: u64, millis: f64) -> RatePoint {
@@ -332,6 +474,28 @@ mod tests {
     fn parse_headline_rejects_garbage() {
         assert_eq!(parse_headline("{}"), None);
         assert_eq!(parse_headline("{\"headline_msgs_per_sec\": }"), None);
+    }
+
+    #[test]
+    fn transport_report_json_is_balanced() {
+        let report = TransportReport {
+            transports: vec![TransportPoint {
+                backend: "tcp".into(),
+                ranks: 4,
+                coalescing: 64,
+                messages: 1_000,
+                millis: 5.0,
+                msgs_per_sec: 200_000.0,
+                frames_sent: 40,
+                backpressure_stalls: 0,
+                reconnects: 2,
+                retransmits: 3,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"kind\": \"transport\""));
+        assert!(json.contains("\"reconnects\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

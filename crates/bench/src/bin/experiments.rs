@@ -1,8 +1,11 @@
 //! The experiment harness: regenerates every figure and experiment in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e15, or
-//! nothing (= all). Scale with `--small` for quick runs. `--metrics DIR`
+//! Usage: `experiments [id ...]` where ids are f1 f2 f3 f5 f6 e1..e16, or
+//! nothing (= all). Scale with `--small` for quick runs.
+//! `--transport inproc|shm|tcp` runs every experiment over the chosen
+//! transport backend (sets `DGP_TRANSPORT`, which every `MachineConfig`
+//! reads; E16 always sweeps all backends regardless). `--metrics DIR`
 //! makes E12 write `metrics.json` and `trace.json` (Chrome trace-event
 //! format, loadable in Perfetto / `chrome://tracing`) into DIR.
 //! `--trace` turns E12's causal sampling up to every send, so the written
@@ -18,7 +21,13 @@
 //! `BENCH_*.json` to PATH (combine with `--small` for CI-sized runs).
 //! `--bench-smoke PATH` re-measures only the headline throughput and
 //! exits nonzero when it regressed more than 30% against the number
-//! recorded in PATH (CI runs this against the committed `BENCH_5.json`).
+//! recorded in PATH (CI runs this against the committed `BENCH_5.json`;
+//! the smoke always measures the default in-process transport, so its
+//! floor is not affected by `--transport`).
+//! `--bench-transports PATH` skips the experiments and instead measures
+//! the all-to-all storm over every transport backend (inproc, shm, tcp,
+//! and tcp with forced connection kills), writing the per-backend
+//! message-rate document to PATH (the committed `BENCH_8.json`).
 //! `--sim` runs only E15: the deterministic-simulator rank-scaling table
 //! (up to 4096 simulated ranks on one thread pool) plus the adversarial
 //! schedule-exploration sweep; any failing cell is shrunk and its
@@ -107,6 +116,34 @@ fn bench_json(path: &str, small: bool) -> ! {
     }
     if let Err(e) = std::fs::write(path, report.to_json()) {
         eprintln!("--bench-json {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {path}");
+    std::process::exit(0);
+}
+
+/// `--bench-transports PATH`: run the per-backend message-rate sweep and
+/// write the transport comparison report.
+fn bench_transports(path: &str, small: bool) -> ! {
+    use dgp_bench::bench_json;
+
+    let report = bench_json::collect_transports(small);
+    for p in &report.transports {
+        println!(
+            "  {:<10} ranks={} coalescing={:<4} {:>9} msgs in {:>9.2} ms  ({:.2}M/s)  \
+             reconnects={} retransmits={}",
+            p.backend,
+            p.ranks,
+            p.coalescing,
+            p.messages,
+            p.millis,
+            p.msgs_per_sec / 1e6,
+            p.reconnects,
+            p.retransmits,
+        );
+    }
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("--bench-transports {path}: {e}");
         std::process::exit(2);
     }
     println!("wrote {path}");
@@ -205,11 +242,37 @@ fn main() {
         lint();
     }
     let small = args.iter().any(|a| a == "--small");
+    if let Some(i) = args.iter().position(|a| a == "--transport") {
+        match args.get(i + 1).map(|s| s.as_str()) {
+            Some(name @ ("inproc" | "shm" | "tcp")) => {
+                // Every MachineConfig::new in the process picks this up.
+                std::env::set_var("DGP_TRANSPORT", name);
+                println!("transport backend: {name}");
+                args.drain(i..=i + 1);
+            }
+            other => {
+                eprintln!(
+                    "--transport needs one of inproc|shm|tcp (got {})",
+                    other.unwrap_or("nothing")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {
         match args.get(i + 1) {
             Some(path) => bench_json(&path.clone(), small),
             None => {
                 eprintln!("--bench-json needs a file argument");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--bench-transports") {
+        match args.get(i + 1) {
+            Some(path) => bench_transports(&path.clone(), small),
+            None => {
+                eprintln!("--bench-transports needs a file argument");
                 std::process::exit(2);
             }
         }
@@ -327,6 +390,9 @@ fn main() {
     let mut sim_failures = 0usize;
     if want("e15") {
         sim_failures = exp::e15(small);
+    }
+    if want("e16") {
+        exp::e16(small);
     }
     eprintln!("\ntotal harness time: {:?}", t0.elapsed());
     if sim_failures > 0 {
@@ -1548,5 +1614,65 @@ mod exp {
             }
         }
         failures.len()
+    }
+
+    /// E16 — beyond the paper: the same machine over pluggable
+    /// transports. An all-to-all storm measures each backend's message
+    /// rate and health counters (including TCP with every connection
+    /// forcibly killed and re-established mid-run), and an SSSP run per
+    /// backend must return bit-identical distances.
+    pub fn e16(small: bool) {
+        use dgp_algorithms::{run_sssp, run_sssp_cfg_stats};
+        use dgp_bench::bench_json;
+
+        header(
+            "E16",
+            "pluggable transports: inproc vs shm rings vs TCP (with forced kills)",
+            "beyond the paper: the §III runtime over a real byte-stream transport",
+        );
+        println!("workload: all-to-all storm, 4 ranks, coalescing 64; the tcp+kill row");
+        println!("closes every connection after its 50th received frame — the");
+        println!("reliability layer retransmits across the gap and writers re-dial\n");
+        let mut t = Table::new(&[
+            "backend",
+            "messages",
+            "time",
+            "Mmsgs/s",
+            "frames",
+            "stalls",
+            "reconnects",
+            "retransmits",
+        ]);
+        for p in bench_json::transport_rows(small) {
+            t.row(vec![
+                p.backend.clone(),
+                p.messages.to_string(),
+                fmt_ms(p.millis),
+                format!("{:.2}", p.msgs_per_sec / 1e6),
+                p.frames_sent.to_string(),
+                p.backpressure_stalls.to_string(),
+                p.reconnects.to_string(),
+                p.retransmits.to_string(),
+            ]);
+        }
+        t.print();
+
+        let scale = if small { 8 } else { 11 };
+        let el = workloads::rmat_weighted(scale, 8, 141);
+        let baseline = run_sssp(&el, 3, 0, SsspStrategy::Delta(0.4));
+        let bits: Vec<u64> = baseline.iter().map(|d| d.to_bits()).collect();
+        print!("\nSSSP (RMAT scale {scale}, 3 ranks) bit-identical across backends:");
+        for (name, kind) in bench_json::transport_backends() {
+            let cfg = dgp_am::MachineConfig::new(3).coalescing(8).transport(kind);
+            let (got, stats) = run_sssp_cfg_stats(&el, cfg, 0, SsspStrategy::Delta(0.4));
+            let same = got.iter().map(|d| d.to_bits()).collect::<Vec<_>>() == bits;
+            assert!(same, "{name}: distances diverged");
+            if name == "tcp+kill" {
+                assert!(stats.retransmits > 0, "kill harness injected no real loss");
+            }
+            print!(" {name}=yes");
+        }
+        println!("\n\nsame distances whichever byte path carried the relaxations — the");
+        println!("delivery seam, not the backend, defines the machine's semantics.");
     }
 }

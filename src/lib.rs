@@ -50,7 +50,10 @@ pub mod prelude {
         run_pagerank_cfg, run_sssp, run_sssp_cfg, run_sssp_cfg_stats, run_sssp_profiled,
         SsspStrategy,
     };
-    pub use dgp_am::{AmCtx, FaultPlan, Machine, MachineConfig, MachineError, TerminationMode};
+    pub use dgp_am::{
+        AmCtx, FaultPlan, Machine, MachineConfig, MachineError, ShmConfig, TcpConfig,
+        TerminationMode, TransportKind,
+    };
     pub use dgp_core::builder::ActionBuilder;
     pub use dgp_core::engine::{EngineConfig, PatternEngine, SyncMode, Val};
     pub use dgp_core::ir::{GeneratorIr, Place};
