@@ -56,6 +56,45 @@ pub fn run_sssp_cfg_stats(
     out[0].take().expect("rank 0 reports")
 }
 
+/// [`run_sssp`] on a caller-supplied [`dgp_core::EngineConfig`] — the
+/// hook for guarded vs. proof-carrying interpreter comparisons (set
+/// `elide_verified_checks: false` to force the per-message guards).
+pub fn run_sssp_engine_cfg(
+    el: &EdgeList,
+    ranks: usize,
+    engine_cfg: dgp_core::EngineConfig,
+    source: VertexId,
+    strategy: SsspStrategy,
+) -> Vec<f64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let weights = EdgeMap::from_weights(&graph, el);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let s = crate::sssp::Sssp::install(ctx, &graph, &weights, engine_cfg);
+        s.run(ctx, source, strategy);
+        (ctx.rank() == 0).then(|| s.dist.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// [`run_cc`] on a caller-supplied [`dgp_core::EngineConfig`].
+pub fn run_cc_engine_cfg(
+    el: &EdgeList,
+    ranks: usize,
+    engine_cfg: dgp_core::EngineConfig,
+) -> Vec<u64> {
+    let mut sym = el.clone();
+    sym.weights = None;
+    sym.symmetrize();
+    let dist = Distribution::block(sym.num_vertices(), ranks);
+    let graph = DistGraph::build(&sym, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let c = crate::cc::cc_with_cfg(ctx, &graph, engine_cfg);
+        (ctx.rank() == 0).then(|| c.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
 /// [`run_sssp`] plus the runtime's per-epoch profiles (`dgp-am::obs`):
 /// one [`EpochProfile`] per machine-wide epoch, in order, carrying the
 /// wall time and counter deltas of that epoch. Use it to see where a

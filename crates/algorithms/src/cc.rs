@@ -159,7 +159,13 @@ impl Cc {
 
 /// Convenience: install + run (inside a machine).
 pub fn cc(ctx: &AmCtx, graph: &DistGraph) -> AtomicVertexMap<u64> {
-    let c = Cc::install(ctx, graph, EngineConfig::default());
+    cc_with_cfg(ctx, graph, EngineConfig::default())
+}
+
+/// [`cc`] on a caller-supplied [`EngineConfig`] — the hook the guarded
+/// vs. proof-carrying interpreter comparisons use.
+pub fn cc_with_cfg(ctx: &AmCtx, graph: &DistGraph, cfg: EngineConfig) -> AtomicVertexMap<u64> {
+    let c = Cc::install(ctx, graph, cfg);
     c.run(ctx);
     c.comp
 }

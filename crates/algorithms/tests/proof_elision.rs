@@ -1,0 +1,121 @@
+//! Proof-carrying plans vs. the guarded interpreter (INTERNALS §13).
+//!
+//! The soundness analyzer attaches a [`dgp_core::VerifiedFacts`] proof to
+//! every clean plan, and the engine accepts that proof as licence to skip
+//! its per-message locality/def-use guards. These tests pin down the two
+//! halves of that contract:
+//!
+//! 1. every shipped pattern family actually *earns* a proof, in both plan
+//!    modes, so the elided fast path is what production runs;
+//! 2. eliding the guards changes nothing observable — SSSP distances and
+//!    CC labels are bit-identical between the guarded and proof-carrying
+//!    interpreters.
+
+use dgp_algorithms::api::{run_cc_engine_cfg, run_sssp_engine_cfg};
+use dgp_algorithms::sssp::{Sssp, SsspStrategy};
+use dgp_core::plan::{compile, PlanMode};
+use dgp_core::EngineConfig;
+use dgp_graph::generators::{self, RmatParams};
+use dgp_graph::properties::EdgeMap;
+use dgp_graph::{DistGraph, Distribution, EdgeList};
+
+/// The guarded interpreter: identical engine, proof ignored.
+fn guarded() -> EngineConfig {
+    EngineConfig {
+        elide_verified_checks: false,
+        ..Default::default()
+    }
+}
+
+fn rmat_weighted(scale: u32, seed: u64) -> EdgeList {
+    let mut el = generators::rmat(scale, 8, RmatParams::GRAPH500, seed);
+    el.randomize_weights(1.0, 10.0, seed ^ 0x9e37);
+    el
+}
+
+#[test]
+fn every_builtin_plan_carries_a_proof_in_both_modes() {
+    for family in dgp_algorithms::builtin_patterns() {
+        for action in &family.actions {
+            for mode in [PlanMode::Faithful, PlanMode::Optimized] {
+                let plan = compile(&action.ir, mode).unwrap_or_else(|e| {
+                    panic!(
+                        "{}/{} ({mode:?}) fails to compile: {e}",
+                        family.name, action.ir.name
+                    )
+                });
+                let facts = plan.facts.unwrap_or_else(|| {
+                    panic!(
+                        "{}/{} ({mode:?}) compiled without a proof",
+                        family.name, action.ir.name
+                    )
+                });
+                // A plan that still needs its runtime guards would make
+                // the elided interpreter unsound; every shipped plan must
+                // discharge at least its own sites.
+                assert_eq!(
+                    u64::from(facts.locality_sites + facts.consumed_sites),
+                    facts.runtime_checks_elided(),
+                    "{}/{} ({mode:?})",
+                    family.name,
+                    action.ir.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_elides_guards_only_with_proof_and_permission() {
+    let el = rmat_weighted(6, 3);
+    let dist = Distribution::block(el.num_vertices(), 2);
+    let graph = DistGraph::build(&el, dist, false);
+    let cases = [
+        (EngineConfig::default(), true),
+        (guarded(), false),
+        (
+            EngineConfig {
+                validate_locality: true,
+                ..Default::default()
+            },
+            false,
+        ),
+    ];
+    for (cfg, expect) in cases {
+        let g = graph.clone();
+        let el = el.clone();
+        let got = dgp_am::Machine::run(dgp_am::MachineConfig::new(2), move |ctx| {
+            let weights = EdgeMap::from_weights(&g, &el);
+            let s = Sssp::install(ctx, &g, &weights, cfg);
+            s.engine.elides_guards(s.relax)
+        });
+        assert!(
+            got.iter().all(|&e| e == expect),
+            "elides_guards under {cfg:?}: expected {expect}, got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn sssp_distances_are_bit_identical_guarded_vs_elided() {
+    let el = rmat_weighted(7, 11);
+    for strategy in [SsspStrategy::FixedPoint, SsspStrategy::Delta(2.0)] {
+        let fast = run_sssp_engine_cfg(&el, 3, EngineConfig::default(), 0, strategy);
+        let slow = run_sssp_engine_cfg(&el, 3, guarded(), 0, strategy);
+        assert_eq!(fast.len(), slow.len());
+        for (v, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{strategy:?}: dist[{v}] differs: elided {a} vs guarded {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_labels_are_bit_identical_guarded_vs_elided() {
+    let el = generators::component_blobs(4, 40, 2, 17);
+    let fast = run_cc_engine_cfg(&el, 3, EngineConfig::default());
+    let slow = run_cc_engine_cfg(&el, 3, guarded());
+    assert_eq!(fast, slow);
+}

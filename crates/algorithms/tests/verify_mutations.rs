@@ -164,6 +164,95 @@ fn p006_fires_on_undeclared_resolution_read() {
     );
 }
 
+/// Reordered resolve: hoist the pointer-following `goto` in CC's rewrite
+/// plan above the gather that fills its resolution slot. The abstract
+/// interpreter must see the resolution read of `pnt[v]` happen while the
+/// slot is still ⊥ on every path.
+#[test]
+fn d002_fires_on_reordered_resolve() {
+    let ir = shipped("cc", "cc_rewrite");
+    let mut plan = compile(&ir, PlanMode::Optimized).expect("cc_rewrite compiles");
+    // Find an adjacent gather → pointer-goto pair and swap their order,
+    // preserving the chain's entry and exit links.
+    let mut swapped = false;
+    for pc in 0..plan.steps.len().saturating_sub(1) {
+        let (ExecStep::Gather { slots, next }, ExecStep::Goto { to, next: gnext }) =
+            (plan.steps[pc].clone(), plan.steps[pc + 1].clone())
+        else {
+            continue;
+        };
+        if next != pc + 1 {
+            continue;
+        }
+        plan.steps[pc] = ExecStep::Goto { to, next: pc + 1 };
+        plan.steps[pc + 1] = ExecStep::Gather { slots, next: gnext };
+        swapped = true;
+        break;
+    }
+    assert!(swapped, "no gather→goto pair to reorder:\n{plan}");
+    plan.facts = None;
+    let diags = verify_action(&ir, &plan);
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::D002
+            && d.severity == Severity::Error
+            && d.message.contains("resolves")),
+        "expected a D002 on the premature resolution, got {diags:?}"
+    );
+    assert!(check_plan(&ir, &plan).is_some());
+}
+
+/// Swapped slot index: exchange the slot lists of cc_rewrite's two
+/// gathers, so `lbl[pnt[v]]` is gathered at `v` and `pnt[v]` at the
+/// pointer target — each gather now reads a slot away from its Def. 1
+/// locality.
+#[test]
+fn l001_fires_on_swapped_gather_slots() {
+    let ir = shipped("cc", "cc_rewrite");
+    let mut plan = compile(&ir, PlanMode::Optimized).expect("cc_rewrite compiles");
+    let gathers: Vec<usize> = plan
+        .steps
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, s)| matches!(s, ExecStep::Gather { .. }).then_some(pc))
+        .collect();
+    let [a, b] = gathers[..] else {
+        panic!("cc_rewrite should have exactly two gathers:\n{plan}");
+    };
+    let (left, right) = plan.steps.split_at_mut(b);
+    let (ExecStep::Gather { slots: sa, .. }, ExecStep::Gather { slots: sb, .. }) =
+        (&mut left[a], &mut right[0])
+    else {
+        unreachable!()
+    };
+    std::mem::swap(sa, sb);
+    plan.facts = None;
+    let diags = verify_action(&ir, &plan);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == DiagCode::L001 && d.severity == Severity::Error),
+        "expected L001 on the misplaced gathers, got {diags:?}"
+    );
+    assert!(check_plan(&ir, &plan).is_some());
+}
+
+/// A corrupted plan never keeps the compiler's proof: re-verification of
+/// any of the mutations above must refuse to mint fresh facts.
+#[test]
+fn corrupted_plans_earn_no_facts() {
+    let ir = shipped("sssp", "relax");
+    let mut plan = compile(&ir, PlanMode::Optimized).expect("relax compiles");
+    assert!(plan.facts.is_some(), "clean relax plan must carry a proof");
+    for step in &mut plan.steps {
+        if let ExecStep::Gather { slots, .. } = step {
+            slots.clear();
+        }
+    }
+    let analysis = dgp_core::plan::soundness::analyze(&ir, &plan);
+    assert!(analysis.has_errors());
+    assert!(analysis.facts.is_none(), "errors and facts are exclusive");
+}
+
 /// The un-mutated originals stay clean — the mutations above, not the
 /// baseline, are what trip each code.
 #[test]

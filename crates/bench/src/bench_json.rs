@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use dgp_algorithms::{seq, SsspStrategy};
 use dgp_am::{Machine, MachineConfig, ShmConfig, StatsSnapshot, TcpConfig, TransportKind};
+use dgp_core::engine::EngineConfig;
 
 use crate::measure;
 use crate::workloads;
@@ -324,6 +325,25 @@ pub fn collect(small: bool) -> BenchReport {
     );
     assert!(m.correct, "bench SSSP diverged from the oracle");
     algorithms.push(algo_point_sssp(&m));
+    // The same run on the guarded interpreter (per-message locality and
+    // def-use checks kept despite the plan's proof): the default row
+    // above IS the proof-carrying fast path, so this pair is the
+    // guarded-vs-elided comparison INTERNALS §13 cites.
+    let guarded_cfg = EngineConfig {
+        elide_verified_checks: false,
+        ..Default::default()
+    };
+    let mg = measure::sssp_pattern(
+        "sssp_delta_guarded",
+        &el,
+        MachineConfig::new(4),
+        guarded_cfg,
+        0,
+        SsspStrategy::Delta(0.4),
+        &oracle,
+    );
+    assert!(mg.correct, "guarded bench SSSP diverged from the oracle");
+    algorithms.push(algo_point_sssp(&mg));
     let cc_el = workloads::blobs(8, if small { 200 } else { 1_500 }, 3);
     let c = measure::cc_pattern("cc_parallel_search", &cc_el, MachineConfig::new(4));
     assert!(c.correct, "bench CC diverged from union-find");
@@ -331,6 +351,20 @@ pub fn collect(small: bool) -> BenchReport {
         name: c.label.clone(),
         millis: c.millis,
         messages: c.messages,
+        epochs: 0,
+        mean_epoch_us: 0.0,
+    });
+    let cg = measure::cc_pattern_cfg(
+        "cc_parallel_search_guarded",
+        &cc_el,
+        MachineConfig::new(4),
+        guarded_cfg,
+    );
+    assert!(cg.correct, "guarded bench CC diverged from union-find");
+    algorithms.push(AlgoPoint {
+        name: cg.label.clone(),
+        millis: cg.millis,
+        messages: cg.messages,
         epochs: 0,
         mean_epoch_us: 0.0,
     });

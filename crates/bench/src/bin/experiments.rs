@@ -83,6 +83,75 @@ fn lint() -> ! {
     println!(
         "\n{clean} pattern families verification clean; {findings} finding(s), {errors} error(s)"
     );
+
+    // Plan-verification table: what the always-on abstract interpreter
+    // proved about every compiled plan, per mode — the facts each proof
+    // carries and how many per-message runtime guards that proof lets the
+    // engine elide (INTERNALS §13). A plan that fails to compile (or
+    // compiles without a proof) is an error-severity finding.
+    use dgp_core::plan::{compile, PlanMode};
+    let mut pt = Table::new(&[
+        "pattern",
+        "action",
+        "mode",
+        "diags",
+        "facts proved",
+        "checks elided",
+    ]);
+    for p in dgp_algorithms::builtin_patterns() {
+        for a in &p.actions {
+            for mode in [PlanMode::Faithful, PlanMode::Optimized] {
+                let mode_name = match mode {
+                    PlanMode::Faithful => "faithful",
+                    PlanMode::Optimized => "optimized",
+                };
+                match compile(&a.ir, mode) {
+                    Ok(plan) => match &plan.facts {
+                        Some(facts) => {
+                            pt.row(vec![
+                                p.name.to_string(),
+                                a.ir.name.clone(),
+                                mode_name.to_string(),
+                                "0".to_string(),
+                                facts.summary(),
+                                facts.runtime_checks_elided().to_string(),
+                            ]);
+                        }
+                        None => {
+                            errors += 1;
+                            pt.row(vec![
+                                p.name.to_string(),
+                                a.ir.name.clone(),
+                                mode_name.to_string(),
+                                "0".to_string(),
+                                "NO PROOF".to_string(),
+                                "0".to_string(),
+                            ]);
+                        }
+                    },
+                    Err(e) => {
+                        errors += e.diagnostics.len().max(1);
+                        pt.row(vec![
+                            p.name.to_string(),
+                            a.ir.name.clone(),
+                            mode_name.to_string(),
+                            e.diagnostics.len().to_string(),
+                            format!(
+                                "REJECTED: {}",
+                                e.diagnostics
+                                    .first()
+                                    .map(|d| d.code.as_str())
+                                    .unwrap_or("?")
+                            ),
+                            "0".to_string(),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    println!("\nplan soundness (proof-carrying plans per mode):");
+    pt.print();
     std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 

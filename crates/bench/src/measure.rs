@@ -169,6 +169,17 @@ pub struct CcMeasurement {
 
 /// Run pattern-engine parallel-search CC and measure.
 pub fn cc_pattern(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasurement {
+    cc_pattern_cfg(label, el, machine, EngineConfig::default())
+}
+
+/// [`cc_pattern`] on a caller-supplied [`EngineConfig`] — used by the
+/// guarded vs. proof-carrying interpreter comparison.
+pub fn cc_pattern_cfg(
+    label: &str,
+    el: &EdgeList,
+    machine: MachineConfig,
+    engine_cfg: EngineConfig,
+) -> CcMeasurement {
     let want = seq::cc_labels(el);
     let graph = DistGraph::build(
         el,
@@ -177,7 +188,7 @@ pub fn cc_pattern(label: &str, el: &EdgeList, machine: MachineConfig) -> CcMeasu
     );
     let t0 = Instant::now();
     let mut out = Machine::run(machine, move |ctx| {
-        let labels = dgp_algorithms::cc::cc(ctx, &graph);
+        let labels = dgp_algorithms::cc::cc_with_cfg(ctx, &graph, engine_cfg);
         (ctx.rank() == 0).then(|| (labels.snapshot(), ctx.stats()))
     });
     let millis = t0.elapsed().as_secs_f64() * 1e3;

@@ -90,6 +90,17 @@ pub(crate) struct CompiledAction {
     /// Aligned with `plan.places` for modification targets: resolver of
     /// each condition/mod target place computed on demand via plan places.
     mod_target_resolvers: Vec<Vec<Resolver>>,
+    /// Proof-carrying fast path (INTERNALS §13): the plan carries
+    /// [`crate::plan::VerifiedFacts`] and the config accepts it, so slot
+    /// reads and modification targets use `msg.at` directly instead of
+    /// re-resolving their place and checking locality per message. Sound
+    /// because the proof's `L001` facts pin every such site's Def. 1
+    /// locality to the current step's place — the very place whose
+    /// resolution produced `msg.at` at the last `Goto` — and no step
+    /// between that `Goto` and the access can overwrite the resolution
+    /// slot (its locality is structurally distinct from the `MapAt` place
+    /// it resolves, so `L001` keeps re-gathers away from it).
+    elide_guards: bool,
 }
 
 struct EngineInner {
@@ -240,6 +251,12 @@ impl PatternEngine {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let dep = ir.dependency_matrix();
+        // Guard elision requires the proof *and* an opted-in config; the
+        // dynamic locality cross-validator needs the guards to run, so it
+        // always forces the guarded path.
+        let elide_guards = plan.facts.is_some()
+            && self.inner.cfg.elide_verified_checks
+            && !self.inner.cfg.validate_locality;
         let compiled = Arc::new(CompiledAction {
             ir,
             plan,
@@ -250,6 +267,7 @@ impl PatternEngine {
             resolvers,
             readers,
             mod_target_resolvers,
+            elide_guards,
         });
         let mut actions = self.inner.actions.write();
         actions.push(compiled);
@@ -260,6 +278,14 @@ impl PatternEngine {
     /// The compiled plan of an action (inspection/reporting).
     pub fn plan_of(&self, action: ActionId) -> plan::ExecPlan {
         self.inner.actions.read()[action as usize].plan.clone()
+    }
+
+    /// Whether the interpreter runs this action on the proof-carrying
+    /// fast path — per-message locality/def-use guards elided because the
+    /// plan carries [`crate::plan::VerifiedFacts`] and the config accepts
+    /// it (INTERNALS §13).
+    pub fn elides_guards(&self, action: ActionId) -> bool {
+        self.inner.actions.read()[action as usize].elide_guards
     }
 
     /// Install the action's work hook (the paper's `a.work(Vertex v) =
@@ -398,8 +424,16 @@ impl EngineInner {
     fn read_slot(&self, action: &CompiledAction, msg: &ActionMsg, slot: usize) -> Val {
         match &action.readers[slot] {
             SlotReader::Vertex { map, resolver } => {
-                let y = self.resolve(*resolver, msg);
-                self.check_locality(y, msg.at, "slot read", &action.ir.name);
+                // Proof-carrying plans skip the per-message resolve +
+                // locality guard: the soundness pass proved this site
+                // reads at the current step's place, which is `msg.at`.
+                let y = if action.elide_guards {
+                    msg.at
+                } else {
+                    let y = self.resolve(*resolver, msg);
+                    self.check_locality(y, msg.at, "slot read", &action.ir.name);
+                    y
+                };
                 self.maps.read()[*map].read_vertex(self.rank, y)
             }
             SlotReader::Edge { map } => match msg.gen {
@@ -625,8 +659,13 @@ impl EngineInner {
             );
             let op = action.mods[cond][mi].op;
             if slot_matches && op == ModOp::Assign {
-                let target = self.resolve(action.mod_target_resolvers[cond][mi], msg);
-                self.check_locality(target, msg.at, "atomic modification", &action.ir.name);
+                let target = if action.elide_guards {
+                    msg.at
+                } else {
+                    let t = self.resolve(action.mod_target_resolvers[cond][mi], msg);
+                    self.check_locality(t, msg.at, "atomic modification", &action.ir.name);
+                    t
+                };
                 let test = &action.tests[cond];
                 let compute = &action.mods[cond][mi].compute;
                 let (v_in, gen) = (msg.v, msg.gen);
@@ -719,8 +758,13 @@ impl EngineInner {
         let mut dep_changed = false;
         for &mi in mods {
             let m = &action.ir.conditions[cond].mods[mi];
-            let target = self.resolve(action.mod_target_resolvers[cond][mi], msg);
-            self.check_locality(target, msg.at, "modification", &action.ir.name);
+            let target = if action.elide_guards {
+                msg.at
+            } else {
+                let t = self.resolve(action.mod_target_resolvers[cond][mi], msg);
+                self.check_locality(t, msg.at, "modification", &action.ir.name);
+                t
+            };
             let exec = &action.mods[cond][mi];
             let maps = self.maps.read();
             let changed = match exec.op {

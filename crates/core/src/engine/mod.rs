@@ -54,8 +54,16 @@ pub struct EngineConfig {
     /// ([`crate::verify`]): count owner-only accesses executed away from
     /// their locality in [`PatternEngine::locality_violations`] instead of
     /// debug-asserting on them. Off by default (debug builds then keep the
-    /// hard assert).
+    /// hard assert). Setting this forces the guarded interpreter path even
+    /// for proof-carrying plans (the validator needs the checks to run).
     pub validate_locality: bool,
+    /// Accept the proof a plan carries ([`crate::plan::ExecPlan::facts`])
+    /// as licence to skip the per-message locality/def-use guards the
+    /// interpreter otherwise performs on every slot read and modification
+    /// (INTERNALS §13). On by default; turn off to benchmark the guarded
+    /// path, or to belt-and-braces a deployment. Ignored (guards stay)
+    /// when `validate_locality` is set or the plan carries no proof.
+    pub elide_verified_checks: bool,
 }
 
 impl Default for EngineConfig {
@@ -66,6 +74,7 @@ impl Default for EngineConfig {
             lock_granularity: LockGranularity::PerVertex,
             self_send: true,
             validate_locality: false,
+            elide_verified_checks: true,
         }
     }
 }

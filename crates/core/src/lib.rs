@@ -42,5 +42,5 @@ pub use builder::{ActionBuilder, BuildError};
 pub use engine::{ActionId, EngineConfig, PatternEngine, SyncMode, Val};
 pub use ir::{GenItem, GeneratorIr, MapId, ModKind, Place, PropertyKind, Slot};
 pub use pattern::{Pattern, PatternBuilder};
-pub use plan::{CommPlan, ExecPlan, PlanMode};
+pub use plan::{CommPlan, ExecPlan, PlanError, PlanMode, VerifiedFacts};
 pub use verify::{DiagCode, Diagnostic, Report, Severity};

@@ -29,10 +29,75 @@
 //! between distinct vertices is one message — plus a [`CommPlan`] summary
 //! used by the figure-reproduction experiments.
 
+pub mod soundness;
+
 use std::collections::HashSet;
 
 use crate::depgraph::DepTree;
 use crate::ir::{ActionIr, Place, ReadRef, Slot};
+use crate::verify::{DiagCode, Diagnostic, Severity};
+
+pub use soundness::VerifiedFacts;
+
+/// Structured failure of [`compile`] (or of the always-on soundness pass
+/// it ends with): the stable diagnostics of [`crate::verify`], not a
+/// string. Converts into `String` for callers that still thread stringly
+/// errors (`impl From<PlanError> for String`).
+#[derive(Debug, Clone)]
+pub struct PlanError {
+    /// Name of the action that failed to compile.
+    pub action: String,
+    /// The findings, in deterministic order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The rendered plan when a *synthesized* plan failed verification
+    /// (an internal planner bug); `None` for synthesis-stage rejections.
+    pub plan: Option<String>,
+}
+
+impl PlanError {
+    fn synthesis(action: &str, code: DiagCode, message: String) -> PlanError {
+        PlanError {
+            action: action.to_string(),
+            diagnostics: vec![Diagnostic {
+                code,
+                severity: Severity::Error,
+                action: action.to_string(),
+                place: None,
+                step: None,
+                message,
+            }],
+            plan: None,
+        }
+    }
+
+    /// Whether any finding carries the given code.
+    pub fn has_code(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        if let Some(p) = &self.plan {
+            write!(f, "\n{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<PlanError> for String {
+    fn from(e: PlanError) -> String {
+        e.to_string()
+    }
+}
 
 /// Gather-traversal flavor (§IV-A's presentation vs. noted optimization).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,6 +187,12 @@ pub struct ExecPlan {
     pub cond_entries: Vec<usize>,
     /// Whether each condition was merged with its first modification group.
     pub merged: Vec<bool>,
+    /// The proof attached by the always-on soundness pass: present on
+    /// every plan [`compile`] returns. `VerifiedFacts` is a sealed
+    /// capability (only [`soundness::analyze`] constructs it), so a
+    /// hand-mutated plan cannot carry one — the engine checks this field
+    /// before eliding its per-message runtime guards.
+    pub facts: Option<soundness::VerifiedFacts>,
 }
 
 /// Static communication summary of a plan (the unit of the paper's Figs.
@@ -191,8 +262,13 @@ enum RawStep {
 }
 
 /// Compile an action to its message program.
-pub fn compile(ir: &ActionIr, mode: PlanMode) -> Result<ExecPlan, String> {
-    ir.validate()?;
+///
+/// Every returned plan has passed the path-sensitive soundness pass
+/// ([`soundness::analyze`]) — in release builds too — and carries its
+/// [`VerifiedFacts`] proof in [`ExecPlan::facts`].
+pub fn compile(ir: &ActionIr, mode: PlanMode) -> Result<ExecPlan, PlanError> {
+    ir.validate()
+        .map_err(|e| PlanError::synthesis(&ir.name, DiagCode::S005, e))?;
     let mut c = Compiler {
         ir,
         mode,
@@ -217,7 +293,9 @@ pub fn compile(ir: &ActionIr, mode: PlanMode) -> Result<ExecPlan, String> {
         } else {
             have_always.clone()
         };
-        let (merged, need) = c.compile_condition(ci)?;
+        let (merged, need) = c
+            .compile_condition(ci)
+            .map_err(|e| PlanError::synthesis(&ir.name, DiagCode::P006, e))?;
         merged_flags.push(merged);
         if ir.conditions[ci].is_else {
             have_chain.extend(need);
@@ -294,18 +372,27 @@ pub fn compile(ir: &ActionIr, mode: PlanMode) -> Result<ExecPlan, String> {
         })
         .collect();
 
-    let plan = ExecPlan {
+    let mut plan = ExecPlan {
         mode,
         places: c.places,
         steps,
         cond_entries: entries,
         merged: merged_flags,
+        facts: None,
     };
-    // The planner's output is re-checked by an abstract interpreter in
-    // debug builds: a compiler bug must fail at registration, not as a
-    // wrong answer at runtime.
-    #[cfg(debug_assertions)]
-    verify(ir, &plan).map_err(|e| format!("internal planner error: {e}"))?;
+    // The planner's output is re-checked by the path-sensitive abstract
+    // interpreter on *every* compile, release builds included: a compiler
+    // bug must fail at registration, not as a wrong answer at runtime.
+    // A clean pass attaches the proof the engine's guard elision keys on.
+    let analysis = soundness::analyze(ir, &plan);
+    if analysis.has_errors() {
+        return Err(PlanError {
+            action: ir.name.clone(),
+            diagnostics: analysis.diagnostics,
+            plan: Some(plan.to_string()),
+        });
+    }
+    plan.facts = analysis.facts;
     Ok(plan)
 }
 
@@ -469,6 +556,24 @@ impl<'a> Compiler<'a> {
                     need.push(rs);
                 }
             }
+        }
+        // The same holds for the *localities of the values themselves*: a
+        // read at `p[x]` is reached by a hop routed through the payload
+        // slot holding `p[x]`, so that resolving read must be gathered
+        // even when no condition consults it. Without this, an Input-local
+        // resolver that only backs a locality never lands in `missing`,
+        // the entry gather skips it, and the plan resolves an unset slot
+        // (the release-mode D002 miscompile of ROADMAP item 1). The index
+        // loop also covers chains of slots appended by the blocks above.
+        let mut i = 0;
+        while i < need.len() {
+            let loc = self.ir.slots[need[i]].locality();
+            for (rs, _) in self.resolution_chain(&loc)? {
+                if !need.contains(&rs) {
+                    need.push(rs);
+                }
+            }
+            i += 1;
         }
         let missing: Vec<usize> = need
             .iter()
@@ -673,14 +778,22 @@ impl<'a> Compiler<'a> {
 
 /// Verify a compiled plan against its action: along *every* control-flow
 /// path, no condition test or modification reads a payload slot before
-/// some earlier step gathered it, and every read and write executes at
-/// its Def. 1 locality. Delegates to the plan walk of [`crate::verify`]
-/// (`D002` + `L001`). Runs automatically (debug builds) at the end of
-/// [`compile`]; also used directly by the property-test suite.
-pub fn verify(ir: &ActionIr, plan: &ExecPlan) -> Result<(), String> {
-    match crate::verify::check_plan(ir, plan) {
-        Some(d) => Err(format!("{d}\n{plan}")),
-        None => Ok(()),
+/// some earlier step gathered it, every read and write executes at its
+/// Def. 1 locality, and every pointer-indirected hop resolves from a
+/// gathered slot. Delegates to the fixpoint of [`soundness::analyze`]
+/// (`L001`/`D002`/`S005`/`P006`). [`compile`] runs the same pass
+/// unconditionally; this entry point re-checks externally mutated plans
+/// and backs the property-test suite.
+pub fn verify(ir: &ActionIr, plan: &ExecPlan) -> Result<(), PlanError> {
+    let analysis = soundness::analyze(ir, plan);
+    if analysis.has_errors() {
+        Err(PlanError {
+            action: ir.name.clone(),
+            diagnostics: analysis.diagnostics,
+            plan: Some(plan.to_string()),
+        })
+    } else {
+        Ok(())
     }
 }
 
@@ -936,7 +1049,8 @@ mod tests {
             }],
         };
         let err = compile(&ir, PlanMode::Optimized).unwrap_err();
-        assert!(err.contains("not declared"), "{err}");
+        assert!(err.has_code(DiagCode::P006), "{err}");
+        assert!(err.to_string().contains("not declared"), "{err}");
     }
 
     #[test]

@@ -38,10 +38,8 @@
 //! [`verify_ir`] over both plan modes and rejects actions with
 //! error-severity diagnostics; warnings ride along on the built action.
 
-use std::collections::HashSet;
-
 use crate::ir::{ActionIr, ModKind, Place, ReadRef, Slot};
-use crate::plan::{compile, ExecPlan, ExecStep, PlanMode};
+use crate::plan::{compile, ExecPlan, PlanMode};
 
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -283,7 +281,7 @@ pub fn verify_ir(ir: &ActionIr) -> Report {
                     report.push_dedup(d);
                 }
             }
-            Err(e) => report.push_dedup(Diagnostic::new(
+            Err(e) if e.diagnostics.is_empty() => report.push_dedup(Diagnostic::new(
                 DiagCode::P006,
                 Severity::Error,
                 &ir.name,
@@ -291,6 +289,13 @@ pub fn verify_ir(ir: &ActionIr) -> Report {
                 None,
                 format!("plan synthesis ({mode:?}) failed: {e}"),
             )),
+            // The planner now fails with the structured findings of the
+            // always-on soundness pass: surface them directly.
+            Err(e) => {
+                for d in e.diagnostics {
+                    report.push_dedup(d);
+                }
+            }
         }
     }
     report.sort();
@@ -320,10 +325,11 @@ pub fn verify_pattern(actions: &[&ActionIr]) -> Report {
     report
 }
 
-/// Re-check a plan against its action (L001 + D002 only) and return the
-/// first error, if any. Used by [`crate::plan::verify`], which runs on
-/// every compile in debug builds: the planner's *output* must always be
-/// locality- and def-use-sound, whatever races the pattern itself has.
+/// Re-check a plan against its action (the `plan::soundness` pass:
+/// L001/D002/S005/P006) and return the first error, if any. The same
+/// analysis runs unconditionally — release builds included — at the end
+/// of every [`crate::plan::compile`]: the planner's *output* must always
+/// be locality- and def-use-sound, whatever races the pattern itself has.
 pub fn check_plan(ir: &ActionIr, plan: &ExecPlan) -> Option<Diagnostic> {
     walk_plan(ir, plan)
         .into_iter()
@@ -374,207 +380,15 @@ fn unresolved_places(ir: &ActionIr) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------
-// Analysis 1 + 2: locality soundness and def-use, one abstract
-// interpretation over (pc, current place, filled slots).
+// Analysis 1 + 2: locality soundness and def-use. The historical
+// exponential path enumeration over (pc, place, filled-set) was replaced
+// by the path-sensitive fixpoint of `plan::soundness` (a per-slot must/
+// may lattice joined at merge points); this wrapper keeps the verifier's
+// entry points stable.
 // ---------------------------------------------------------------------
 
 fn walk_plan(ir: &ActionIr, plan: &ExecPlan) -> Vec<Diagnostic> {
-    let mut out: Vec<Diagnostic> = Vec::new();
-    let mut emit = |d: Diagnostic| {
-        if !out.contains(&d) {
-            out.push(d);
-        }
-    };
-    let mut stack: Vec<(usize, Place, HashSet<usize>)> = vec![(0, Place::Input, HashSet::new())];
-    let mut seen: HashSet<(usize, Place, Vec<usize>)> = HashSet::new();
-    while let Some((pc, here, mut filled)) = stack.pop() {
-        let mut key: Vec<usize> = filled.iter().copied().collect();
-        key.sort_unstable();
-        if !seen.insert((pc, here.clone(), key)) {
-            continue;
-        }
-        let Some(step) = plan.steps.get(pc) else {
-            emit(Diagnostic::new(
-                DiagCode::S005,
-                Severity::Error,
-                &ir.name,
-                None,
-                Some(pc),
-                format!("plan jumps to step {pc}, past the end of the program"),
-            ));
-            continue;
-        };
-        // A slot read at the current vertex must live here per Def. 1.
-        let check_local = |emit: &mut dyn FnMut(Diagnostic), what: &str, slots: &[usize]| {
-            for &s in slots {
-                let Some(r) = ir.slots.get(s) else {
-                    emit(Diagnostic::new(
-                        DiagCode::S005,
-                        Severity::Error,
-                        &ir.name,
-                        None,
-                        Some(pc),
-                        format!("{what} references undeclared slot {s}"),
-                    ));
-                    continue;
-                };
-                if r.locality() != here {
-                    emit(Diagnostic::new(
-                        DiagCode::L001,
-                        Severity::Error,
-                        &ir.name,
-                        Some(here.clone()),
-                        Some(pc),
-                        format!(
-                            "{what} reads {r} at {here}, but its Def. 1 locality is {}",
-                            r.locality()
-                        ),
-                    ));
-                }
-            }
-        };
-        let demand = |emit: &mut dyn FnMut(Diagnostic),
-                      filled: &HashSet<usize>,
-                      what: &str,
-                      slots: &[Slot]| {
-            for &Slot(s) in slots {
-                if !filled.contains(&s) {
-                    emit(Diagnostic::new(
-                        DiagCode::D002,
-                        Severity::Error,
-                        &ir.name,
-                        Some(here.clone()),
-                        Some(pc),
-                        format!("{what} reads slot {s} before any path gathered it"),
-                    ));
-                }
-            }
-        };
-        let check_mod_site = |emit: &mut dyn FnMut(Diagnostic), mods: &[usize], cond: usize| {
-            for &mi in mods {
-                let Some(m) = ir.conditions.get(cond).and_then(|c| c.mods.get(mi)) else {
-                    emit(Diagnostic::new(
-                        DiagCode::S005,
-                        Severity::Error,
-                        &ir.name,
-                        None,
-                        Some(pc),
-                        format!("plan references undeclared modification {mi} of condition {cond}"),
-                    ));
-                    continue;
-                };
-                if m.at != here {
-                    emit(Diagnostic::new(
-                        DiagCode::L001,
-                        Severity::Error,
-                        &ir.name,
-                        Some(here.clone()),
-                        Some(pc),
-                        format!(
-                            "modification of p{}[{}] applied at {here}, away from its locality",
-                            m.map, m.at
-                        ),
-                    ));
-                }
-            }
-        };
-        match step {
-            ExecStep::Goto { to, next } => match plan.places.get(*to) {
-                Some(p) => {
-                    // A hop to a pointer-indirected place is routed by
-                    // reading the pointer *from the payload*: the
-                    // resolution slot must have been gathered first.
-                    if let Place::MapAt(m, inner) = p {
-                        if let Some(rs) = ir.slots.iter().position(|r| {
-                            matches!(r, ReadRef::VertexProp { map, at } if map == m && at == &**inner)
-                        }) {
-                            if !filled.contains(&rs) {
-                                emit(Diagnostic::new(
-                                    DiagCode::D002,
-                                    Severity::Error,
-                                    &ir.name,
-                                    Some(here.clone()),
-                                    Some(pc),
-                                    format!(
-                                        "goto {p} resolves p{m}[{inner}] from slot {rs} before any path gathered it"
-                                    ),
-                                ));
-                            }
-                        }
-                    }
-                    stack.push((*next, p.clone(), filled))
-                }
-                None => emit(Diagnostic::new(
-                    DiagCode::S005,
-                    Severity::Error,
-                    &ir.name,
-                    None,
-                    Some(pc),
-                    format!("plan goto references undeclared place {to}"),
-                )),
-            },
-            ExecStep::Gather { slots, next } => {
-                check_local(&mut emit, "gather", slots);
-                filled.extend(slots.iter().copied());
-                stack.push((*next, here.clone(), filled));
-            }
-            ExecStep::Eval {
-                cond,
-                local_slots,
-                on_true,
-                on_false,
-            } => {
-                check_local(&mut emit, "evaluate", local_slots);
-                filled.extend(local_slots.iter().copied());
-                if let Some(c) = ir.conditions.get(*cond) {
-                    demand(&mut emit, &filled, "condition test", &c.reads);
-                }
-                stack.push((*on_true, here.clone(), filled.clone()));
-                stack.push((*on_false, here.clone(), filled));
-            }
-            ExecStep::EvalModify {
-                cond,
-                local_slots,
-                mods,
-                on_true,
-                on_false,
-            } => {
-                check_local(&mut emit, "evaluate-and-modify", local_slots);
-                filled.extend(local_slots.iter().copied());
-                if let Some(c) = ir.conditions.get(*cond) {
-                    demand(&mut emit, &filled, "condition test", &c.reads);
-                    for &mi in mods {
-                        if let Some(m) = c.mods.get(mi) {
-                            demand(&mut emit, &filled, "merged modification", &m.reads);
-                        }
-                    }
-                }
-                check_mod_site(&mut emit, mods, *cond);
-                stack.push((*on_true, here.clone(), filled.clone()));
-                stack.push((*on_false, here.clone(), filled));
-            }
-            ExecStep::ModifyGroup {
-                cond,
-                local_slots,
-                mods,
-                next,
-            } => {
-                check_local(&mut emit, "modification group", local_slots);
-                filled.extend(local_slots.iter().copied());
-                if let Some(c) = ir.conditions.get(*cond) {
-                    for &mi in mods {
-                        if let Some(m) = c.mods.get(mi) {
-                            demand(&mut emit, &filled, "modification group", &m.reads);
-                        }
-                    }
-                }
-                check_mod_site(&mut emit, mods, *cond);
-                stack.push((*next, here.clone(), filled));
-            }
-            ExecStep::End => {}
-        }
-    }
-    out
+    crate::plan::soundness::analyze(ir, plan).diagnostics
 }
 
 // ---------------------------------------------------------------------
@@ -799,6 +613,7 @@ fn self_trigger(ir: &ActionIr, plan: &ExecPlan) -> Vec<Diagnostic> {
 mod tests {
     use super::*;
     use crate::ir::{ConditionIr, GeneratorIr, ModificationIr};
+    use crate::plan::ExecStep;
 
     fn relax_ir() -> ActionIr {
         let (dist, weight) = (0, 1);
