@@ -95,6 +95,41 @@ pub fn run_cc_engine_cfg(
     out[0].take().expect("rank 0 reports")
 }
 
+/// [`run_pagerank`] on a caller-supplied [`dgp_core::EngineConfig`].
+pub fn run_pagerank_engine_cfg(
+    el: &EdgeList,
+    ranks: usize,
+    engine_cfg: dgp_core::EngineConfig,
+    damping: f64,
+    iterations: usize,
+) -> Vec<f64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let p = crate::pagerank::PageRank::install(ctx, &graph, damping, engine_cfg);
+        p.run(ctx, iterations);
+        (ctx.rank() == 0).then(|| p.rank.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
+/// [`run_bfs`] on a caller-supplied [`dgp_core::EngineConfig`].
+pub fn run_bfs_engine_cfg(
+    el: &EdgeList,
+    ranks: usize,
+    engine_cfg: dgp_core::EngineConfig,
+    source: VertexId,
+) -> Vec<u64> {
+    let dist = Distribution::block(el.num_vertices(), ranks);
+    let graph = DistGraph::build(el, dist, false);
+    let mut out = Machine::run(MachineConfig::new(ranks), move |ctx| {
+        let b = crate::bfs::Bfs::install(ctx, &graph, engine_cfg);
+        b.run(ctx, source);
+        (ctx.rank() == 0).then(|| b.level.snapshot())
+    });
+    out[0].take().expect("rank 0 reports")
+}
+
 /// [`run_sssp`] plus the runtime's per-epoch profiles (`dgp-am::obs`):
 /// one [`EpochProfile`] per machine-wide epoch, in order, carrying the
 /// wall time and counter deltas of that epoch. Use it to see where a

@@ -68,13 +68,24 @@ pub(crate) fn delta_pull(
 /// vertices for exact BC; a sample for approximate BC). Unweighted,
 /// directed; endpoints excluded, as in Brandes. Collective.
 pub fn betweenness(ctx: &AmCtx, graph: &DistGraph, sources: &[VertexId]) -> AtomicVertexMap<f64> {
+    betweenness_with_cfg(ctx, graph, sources, EngineConfig::default())
+}
+
+/// [`betweenness`] with an explicit engine configuration (the
+/// differential suite runs the same instance interpreted and compiled).
+pub fn betweenness_with_cfg(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    sources: &[VertexId],
+    cfg: EngineConfig,
+) -> AtomicVertexMap<f64> {
     let rank = ctx.rank();
     let dist0 = graph.distribution();
     let level = ctx.share(|| AtomicVertexMap::new(dist0, u64::MAX));
     let sigma = ctx.share(|| AtomicVertexMap::new(dist0, 0.0f64));
     let delta = ctx.share(|| AtomicVertexMap::new(dist0, 0.0f64));
     let bc = ctx.share(|| AtomicVertexMap::new(dist0, 0.0f64));
-    let engine = PatternEngine::new(ctx, graph.clone(), EngineConfig::default());
+    let engine = PatternEngine::new(ctx, graph.clone(), cfg);
     let level_id = engine.register_vertex_map(&level);
     let sigma_id = engine.register_vertex_map(&sigma);
     let delta_id = engine.register_vertex_map(&delta);

@@ -54,6 +54,16 @@ pub(crate) fn flag_bigger(color: MapId, blocked: MapId) -> dgp_core::builder::Bu
 /// Color the (symmetric) graph greedily. Collective; returns
 /// `(color map, rounds)`. Max degree must be < 63.
 pub fn color_greedy(ctx: &AmCtx, graph: &DistGraph) -> (AtomicVertexMap<u64>, usize) {
+    color_greedy_with_cfg(ctx, graph, EngineConfig::default())
+}
+
+/// [`color_greedy`] with an explicit engine configuration (the
+/// differential suite runs the same instance interpreted and compiled).
+pub fn color_greedy_with_cfg(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    cfg: EngineConfig,
+) -> (AtomicVertexMap<u64>, usize) {
     let rank = ctx.rank();
     let sh = graph.shard(rank);
     for li in 0..sh.num_local() {
@@ -65,7 +75,7 @@ pub fn color_greedy(ctx: &AmCtx, graph: &DistGraph) -> (AtomicVertexMap<u64>, us
     let color = ctx.share(|| AtomicVertexMap::new(graph.distribution(), UNCOLORED));
     let used = ctx.share(|| AtomicVertexMap::new(graph.distribution(), 0u64));
     let blocked = ctx.share(|| AtomicVertexMap::new(graph.distribution(), false));
-    let engine = PatternEngine::new(ctx, graph.clone(), EngineConfig::default());
+    let engine = PatternEngine::new(ctx, graph.clone(), cfg);
     let color_id = engine.register_vertex_map(&color);
     let used_id = engine.register_vertex_map(&used);
     let blocked_id = engine.register_vertex_map(&blocked);

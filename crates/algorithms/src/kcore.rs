@@ -35,10 +35,21 @@ pub(crate) fn count_active(active: u32, acc: u32) -> dgp_core::builder::BuiltAct
 /// must be a symmetric representation. Collective; returns the number of
 /// peeling rounds.
 pub fn kcore(ctx: &AmCtx, graph: &DistGraph, k: u64) -> (AtomicVertexMap<bool>, usize) {
+    kcore_with_cfg(ctx, graph, k, EngineConfig::default())
+}
+
+/// [`kcore`] with an explicit engine configuration (the differential
+/// suite runs the same instance interpreted and compiled).
+pub fn kcore_with_cfg(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    k: u64,
+    cfg: EngineConfig,
+) -> (AtomicVertexMap<bool>, usize) {
     let rank = ctx.rank();
     let active = ctx.share(|| AtomicVertexMap::new(graph.distribution(), true));
     let acc = ctx.share(|| AtomicVertexMap::new(graph.distribution(), 0u64));
-    let engine = PatternEngine::new(ctx, graph.clone(), EngineConfig::default());
+    let engine = PatternEngine::new(ctx, graph.clone(), cfg);
     let active_id = engine.register_vertex_map(&active);
     let acc_id = engine.register_vertex_map(&acc);
     let count = engine

@@ -50,13 +50,24 @@ pub(crate) fn flag_excluded(state: MapId, excluded: MapId) -> dgp_core::builder:
 /// Compute a maximal independent set of the (symmetric) graph. Collective;
 /// returns `(membership mask, rounds)`.
 pub fn mis(ctx: &AmCtx, graph: &DistGraph, seed: u64) -> (AtomicVertexMap<bool>, usize) {
+    mis_with_cfg(ctx, graph, seed, EngineConfig::default())
+}
+
+/// [`mis`] with an explicit engine configuration (the differential suite
+/// runs the same instance interpreted and compiled).
+pub fn mis_with_cfg(
+    ctx: &AmCtx,
+    graph: &DistGraph,
+    seed: u64,
+    cfg: EngineConfig,
+) -> (AtomicVertexMap<bool>, usize) {
     use rand::{Rng, SeedableRng};
     let rank = ctx.rank();
     let state = ctx.share(|| AtomicVertexMap::new(graph.distribution(), UNDECIDED));
     let prio = ctx.share(|| AtomicVertexMap::new(graph.distribution(), 0u64));
     let blocked = ctx.share(|| AtomicVertexMap::new(graph.distribution(), false));
     let excluded = ctx.share(|| AtomicVertexMap::new(graph.distribution(), false));
-    let engine = PatternEngine::new(ctx, graph.clone(), EngineConfig::default());
+    let engine = PatternEngine::new(ctx, graph.clone(), cfg);
     let state_id = engine.register_vertex_map(&state);
     let prio_id = engine.register_vertex_map(&prio);
     let blocked_id = engine.register_vertex_map(&blocked);

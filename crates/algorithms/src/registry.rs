@@ -8,6 +8,7 @@
 //! truth — add a family here and it is linted in CI automatically.
 
 use dgp_core::builder::BuiltAction;
+use dgp_core::engine::{CodecKind, MapHint};
 use dgp_core::verify::{self, Report};
 
 use crate::{betweenness, coloring, kcore, mis, patterns};
@@ -20,6 +21,13 @@ pub struct RegisteredPattern {
     pub name: &'static str,
     /// The family's actions, in registration order.
     pub actions: Vec<BuiltAction>,
+    /// The property maps the driver registers, in registration order
+    /// (index = `MapId`): each map's name and the [`MapHint`] describing
+    /// its concrete type, so the plan compiler's
+    /// [`dgp_core::engine::static_compilability`] runs without a machine
+    /// (the `--lint` seam). A test asserts these agree with what the
+    /// runtime compiler accepts.
+    pub maps: Vec<(&'static str, MapHint)>,
 }
 
 impl RegisteredPattern {
@@ -53,6 +61,10 @@ pub fn builtin_patterns() -> Vec<RegisteredPattern> {
                 patterns::relax_light(0, 1, 1.0),
                 patterns::relax_heavy(0, 1, 1.0),
             ],
+            maps: vec![
+                ("dist", MapHint::Vertex(CodecKind::F64)),
+                ("weight", MapHint::Edge(CodecKind::F64)),
+            ],
         },
         RegisteredPattern {
             name: "cc",
@@ -62,6 +74,12 @@ pub fn builtin_patterns() -> Vec<RegisteredPattern> {
                 patterns::cc_jump(1, 2),
                 patterns::cc_rewrite(0, 2, 3),
             ],
+            maps: vec![
+                ("pnt", MapHint::Vertex(CodecKind::OptVertex)),
+                ("adjs", MapHint::Set),
+                ("lbl", MapHint::Vertex(CodecKind::U64)),
+                ("comp", MapHint::Vertex(CodecKind::U64)),
+            ],
         },
         RegisteredPattern {
             name: "pagerank",
@@ -70,22 +88,43 @@ pub fn builtin_patterns() -> Vec<RegisteredPattern> {
                 patterns::pr_contribute(0, 1, 2),
                 patterns::pr_pull(0, 1, 2),
             ],
+            maps: vec![
+                ("rank", MapHint::Vertex(CodecKind::F64)),
+                ("deg", MapHint::Vertex(CodecKind::U64)),
+                ("acc", MapHint::Vertex(CodecKind::F64)),
+            ],
         },
         RegisteredPattern {
             name: "bfs",
             actions: vec![patterns::bfs_expand(0)],
+            maps: vec![("level", MapHint::Vertex(CodecKind::U64))],
         },
         RegisteredPattern {
             name: "mis",
             actions: vec![mis::flag_blocked(0, 1, 2), mis::flag_excluded(0, 3)],
+            maps: vec![
+                ("state", MapHint::Vertex(CodecKind::U64)),
+                ("prio", MapHint::Vertex(CodecKind::U64)),
+                ("blocked", MapHint::Vertex(CodecKind::Bool)),
+                ("excluded", MapHint::Vertex(CodecKind::Bool)),
+            ],
         },
         RegisteredPattern {
             name: "kcore",
             actions: vec![kcore::count_active(0, 1)],
+            maps: vec![
+                ("active", MapHint::Vertex(CodecKind::Bool)),
+                ("acc", MapHint::Vertex(CodecKind::U64)),
+            ],
         },
         RegisteredPattern {
             name: "coloring",
             actions: vec![coloring::collect_used(0, 1), coloring::flag_bigger(0, 2)],
+            maps: vec![
+                ("color", MapHint::Vertex(CodecKind::U64)),
+                ("used", MapHint::Vertex(CodecKind::U64)),
+                ("blocked", MapHint::Vertex(CodecKind::Bool)),
+            ],
         },
         RegisteredPattern {
             name: "betweenness",
@@ -94,12 +133,23 @@ pub fn builtin_patterns() -> Vec<RegisteredPattern> {
                 betweenness::sigma_push(0, 1),
                 betweenness::delta_pull(0, 1, 2),
             ],
+            maps: vec![
+                ("level", MapHint::Vertex(CodecKind::U64)),
+                ("sigma", MapHint::Vertex(CodecKind::F64)),
+                ("delta", MapHint::Vertex(CodecKind::F64)),
+            ],
         },
         RegisteredPattern {
             name: "paths",
             actions: vec![
                 patterns::relax_with_parent(0, 1, 2),
                 patterns::record_preds(0, 1, 3),
+            ],
+            maps: vec![
+                ("dist", MapHint::Vertex(CodecKind::F64)),
+                ("weight", MapHint::Edge(CodecKind::F64)),
+                ("parent", MapHint::Vertex(CodecKind::OptVertex)),
+                ("preds", MapHint::Set),
             ],
         },
     ]
@@ -146,6 +196,30 @@ mod tests {
                 assert!(!warnings.is_empty(), "{report}");
             } else {
                 assert!(warnings.is_empty(), "pattern {:?}:\n{report}", p.name);
+            }
+        }
+    }
+
+    /// Every shipped action passes the plan compiler's static check
+    /// against its family's declared map hints, in both plan modes — the
+    /// `--lint` "compiled" column must show no unexpected fallback.
+    #[test]
+    fn all_builtin_patterns_statically_compile() {
+        use dgp_core::engine::static_compilability;
+        use dgp_core::plan::{compile, PlanMode};
+        for p in builtin_patterns() {
+            let hints: Vec<MapHint> = p.maps.iter().map(|(_, h)| *h).collect();
+            for a in &p.actions {
+                for mode in [PlanMode::Faithful, PlanMode::Optimized] {
+                    let plan = compile(&a.ir, mode).expect("shipped action compiles");
+                    assert_eq!(
+                        static_compilability(&a.ir, &plan, &hints),
+                        Ok(()),
+                        "{}/{} ({mode:?}) unexpectedly falls back",
+                        p.name,
+                        a.ir.name
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,321 @@
+//! Compiled plans vs. the interpreter (INTERNALS §14).
+//!
+//! The plan JIT monomorphizes every proof-carrying plan into a chain of
+//! typed closures; the interpreter is the semantics oracle. These tests
+//! run every shipped algorithm family twice on the same input — once with
+//! the compiler enabled (the default) and once on the fully guarded
+//! interpreter (`compile_plans: false`, `elide_verified_checks: false`) —
+//! and demand identical results: **bit-identical** wherever the
+//! computation is deterministic (SSSP distances, CC labels, BFS levels,
+//! MIS/k-core masks, colorings), and within 1e-9 relative tolerance for
+//! the float accumulations whose intra-round summation order is
+//! scheduler-dependent even under a fixed config (PageRank, betweenness).
+//!
+//! Both plan modes are covered — Faithful (one step per clause) and
+//! Optimized (merged/fused steps) lower to different step shapes, so the
+//! compiler sees both `EvalModify` fusions and split `Eval`/`ModifyGroup`
+//! chains. A chaos variant reruns the SSSP differential under the
+//! standard fault preset: the JIT must stay bit-identical when the
+//! transport drops, duplicates, delays and reorders envelopes.
+
+use dgp_algorithms::api::{
+    run_bfs_engine_cfg, run_cc_engine_cfg, run_pagerank_engine_cfg, run_sssp_engine_cfg,
+};
+use dgp_algorithms::paths::SsspPaths;
+use dgp_algorithms::sssp::{Sssp, SsspStrategy};
+use dgp_algorithms::{betweenness, coloring, kcore, mis};
+use dgp_am::{FaultPlan, Machine, MachineConfig};
+use dgp_core::plan::PlanMode;
+use dgp_core::EngineConfig;
+use dgp_graph::generators::{self, RmatParams};
+use dgp_graph::properties::EdgeMap;
+use dgp_graph::{DistGraph, Distribution, EdgeList, VertexId};
+
+const MODES: [PlanMode; 2] = [PlanMode::Faithful, PlanMode::Optimized];
+
+/// The compiled engine under test (compilation is on by default).
+fn compiled(mode: PlanMode) -> EngineConfig {
+    EngineConfig {
+        plan_mode: mode,
+        ..Default::default()
+    }
+}
+
+/// The oracle: the fully guarded interpreter, JIT off.
+fn interpreted(mode: PlanMode) -> EngineConfig {
+    EngineConfig {
+        plan_mode: mode,
+        compile_plans: false,
+        elide_verified_checks: false,
+        ..Default::default()
+    }
+}
+
+fn rmat_weighted(scale: u32, seed: u64) -> EdgeList {
+    let mut el = generators::rmat(scale, 8, RmatParams::GRAPH500, seed);
+    el.randomize_weights(1.0, 10.0, seed ^ 0x9e37);
+    el
+}
+
+fn assert_bits_eq(fast: &[f64], slow: &[f64], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length mismatch");
+    for (v, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{what}: vertex {v} differs: compiled {a} vs interpreted {b}"
+        );
+    }
+}
+
+fn assert_close(fast: &[f64], slow: &[f64], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: length mismatch");
+    for (v, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+            "{what}: vertex {v} differs: compiled {a} vs interpreted {b}"
+        );
+    }
+}
+
+/// The gate itself: shipped plans compile under the default config, stay
+/// interpreted when the JIT is off or the guards are requested, and the
+/// fallback reason is observable.
+#[test]
+fn sssp_compiles_by_default_and_falls_back_on_request() {
+    use dgp_core::engine::JitFallback;
+    let el = rmat_weighted(6, 3);
+    let dist = Distribution::block(el.num_vertices(), 2);
+    let graph = DistGraph::build(&el, dist, false);
+    let cases = [
+        (EngineConfig::default(), None),
+        (
+            interpreted(PlanMode::Optimized),
+            Some(JitFallback::Disabled),
+        ),
+        (
+            EngineConfig {
+                elide_verified_checks: false,
+                ..Default::default()
+            },
+            Some(JitFallback::GuardsRequested),
+        ),
+        (
+            EngineConfig {
+                validate_locality: true,
+                ..Default::default()
+            },
+            Some(JitFallback::ValidatesLocality),
+        ),
+    ];
+    for (cfg, expect) in cases {
+        let g = graph.clone();
+        let el = el.clone();
+        let got = Machine::run(MachineConfig::new(2), move |ctx| {
+            let weights = EdgeMap::from_weights(&g, &el);
+            let s = Sssp::install(ctx, &g, &weights, cfg);
+            (
+                s.engine.compiles(s.relax),
+                s.engine.compile_fallback(s.relax),
+            )
+        });
+        for (compiles, fallback) in got {
+            assert_eq!(compiles, expect.is_none(), "under {cfg:?}");
+            assert_eq!(fallback, expect, "under {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn sssp_bit_identical_compiled_vs_interpreted() {
+    let el = rmat_weighted(7, 11);
+    for mode in MODES {
+        for strategy in [SsspStrategy::FixedPoint, SsspStrategy::Delta(2.0)] {
+            let fast = run_sssp_engine_cfg(&el, 3, compiled(mode), 0, strategy);
+            let slow = run_sssp_engine_cfg(&el, 3, interpreted(mode), 0, strategy);
+            assert_bits_eq(&fast, &slow, &format!("sssp {mode:?}/{strategy:?}"));
+        }
+    }
+}
+
+#[test]
+fn cc_bit_identical_compiled_vs_interpreted() {
+    let el = generators::component_blobs(4, 40, 2, 17);
+    for mode in MODES {
+        let fast = run_cc_engine_cfg(&el, 3, compiled(mode));
+        let slow = run_cc_engine_cfg(&el, 3, interpreted(mode));
+        assert_eq!(fast, slow, "cc {mode:?}");
+    }
+}
+
+#[test]
+fn bfs_bit_identical_compiled_vs_interpreted() {
+    let el = rmat_weighted(7, 5);
+    for mode in MODES {
+        let fast = run_bfs_engine_cfg(&el, 3, compiled(mode), 0);
+        let slow = run_bfs_engine_cfg(&el, 3, interpreted(mode), 0);
+        assert_eq!(fast, slow, "bfs {mode:?}");
+    }
+}
+
+#[test]
+fn pagerank_matches_compiled_vs_interpreted() {
+    let el = rmat_weighted(7, 23);
+    for mode in MODES {
+        let fast = run_pagerank_engine_cfg(&el, 3, compiled(mode), 0.85, 15);
+        let slow = run_pagerank_engine_cfg(&el, 3, interpreted(mode), 0.85, 15);
+        assert_close(&fast, &slow, &format!("pagerank {mode:?}"));
+    }
+}
+
+#[test]
+fn mis_bit_identical_compiled_vs_interpreted() {
+    let mut el = generators::erdos_renyi(150, 600, 4);
+    el.simplify();
+    el.symmetrize();
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for mode in MODES {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+                let (m, rounds) = mis::mis_with_cfg(ctx, &g, 7, cfg);
+                (ctx.rank() == 0).then(|| (m.snapshot(), rounds))
+            });
+            out[0].take().unwrap()
+        };
+        assert_eq!(run(compiled(mode)), run(interpreted(mode)), "mis {mode:?}");
+    }
+}
+
+#[test]
+fn kcore_bit_identical_compiled_vs_interpreted() {
+    let mut el = generators::erdos_renyi(120, 500, 2);
+    el.simplify();
+    el.symmetrize();
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for mode in MODES {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+                let (mask, rounds) = kcore::kcore_with_cfg(ctx, &g, 3, cfg);
+                (ctx.rank() == 0).then(|| (mask.snapshot(), rounds))
+            });
+            out[0].take().unwrap()
+        };
+        assert_eq!(
+            run(compiled(mode)),
+            run(interpreted(mode)),
+            "kcore {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn coloring_bit_identical_compiled_vs_interpreted() {
+    let el = generators::grid2d(8, 8);
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for mode in MODES {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+                let (c, rounds) = coloring::color_greedy_with_cfg(ctx, &g, cfg);
+                (ctx.rank() == 0).then(|| (c.snapshot(), rounds))
+            });
+            out[0].take().unwrap()
+        };
+        assert_eq!(
+            run(compiled(mode)),
+            run(interpreted(mode)),
+            "coloring {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn betweenness_matches_compiled_vs_interpreted() {
+    let mut el = generators::erdos_renyi(60, 300, 3);
+    el.simplify();
+    let sources: Vec<VertexId> = (0..el.num_vertices()).step_by(7).collect();
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for mode in MODES {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let srcs = sources.clone();
+            let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+                let bc = betweenness::betweenness_with_cfg(ctx, &g, &srcs, cfg);
+                (ctx.rank() == 0).then(|| bc.snapshot())
+            });
+            out[0].take().unwrap()
+        };
+        assert_close(
+            &run(compiled(mode)),
+            &run(interpreted(mode)),
+            &format!("betweenness {mode:?}"),
+        );
+    }
+}
+
+/// Shortest-path trees: distances bit-identical, parents and predecessor
+/// sets identical (random weights make ties vanishingly unlikely, so both
+/// are deterministic; predecessor lists are compared as sorted sets).
+#[test]
+fn paths_bit_identical_compiled_vs_interpreted() {
+    let el = rmat_weighted(6, 31);
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for mode in MODES {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let el = el.clone();
+            let mut out = Machine::run(MachineConfig::new(3), move |ctx| {
+                let weights = EdgeMap::from_weights(&g, &el);
+                let s = SsspPaths::install(ctx, &g, &weights, cfg);
+                s.run(ctx, 0);
+                (ctx.rank() == 0).then(|| {
+                    let mut preds = s.preds.snapshot();
+                    for p in &mut preds {
+                        p.sort_unstable();
+                    }
+                    (s.dist.snapshot(), s.parent.snapshot(), preds)
+                })
+            });
+            out[0].take().unwrap()
+        };
+        let (fd, fp, fpr) = run(compiled(mode));
+        let (sd, sp, spr) = run(interpreted(mode));
+        assert_bits_eq(&fd, &sd, &format!("paths dist {mode:?}"));
+        assert_eq!(fp, sp, "paths parent {mode:?}");
+        assert_eq!(fpr, spr, "paths preds {mode:?}");
+    }
+}
+
+/// The chaos differential: under the standard fault preset (drops,
+/// duplicates, delays, reorders) the compiled engine must still match the
+/// interpreter bit for bit — and the faults must actually fire.
+#[test]
+fn sssp_chaos_bit_identical_compiled_vs_interpreted() {
+    let mut el = generators::erdos_renyi(150, 900, 8);
+    el.randomize_weights(0.5, 3.0, 9);
+    let graph = DistGraph::build(&el, Distribution::block(el.num_vertices(), 3), false);
+    for seed in [0xC0FFEE_u64, 42] {
+        let run = |cfg: EngineConfig| {
+            let g = graph.clone();
+            let el = el.clone();
+            let mcfg = MachineConfig::new(3)
+                .coalescing(8)
+                .faults(FaultPlan::chaos(seed));
+            let mut out = Machine::run(mcfg, move |ctx| {
+                let weights = EdgeMap::from_weights(&g, &el);
+                let s = Sssp::install(ctx, &g, &weights, cfg);
+                s.run(ctx, 0, SsspStrategy::Delta(1.0));
+                (ctx.rank() == 0).then(|| (s.dist.snapshot(), ctx.stats()))
+            });
+            out[0].take().unwrap()
+        };
+        let (fast, fast_stats) = run(compiled(PlanMode::Optimized));
+        let (slow, _) = run(interpreted(PlanMode::Optimized));
+        assert_bits_eq(&fast, &slow, &format!("sssp chaos seed {seed}"));
+        assert!(
+            fast_stats.faults_injected() > 0,
+            "seed {seed}: nothing injected"
+        );
+    }
+}

@@ -291,6 +291,63 @@ fn all_shipped_patterns_clean_in_both_modes() {
     }
 }
 
+/// A plan stripped of its proof never reaches the JIT: the compiler's
+/// static gate reports `NoFacts` before it ever inspects maps or steps.
+/// The proof is the compile licence, exactly as it is the elision
+/// licence — a corrupted or re-verified-dirty plan stays interpreted.
+#[test]
+fn factless_plans_never_reach_the_jit() {
+    use dgp_core::engine::{static_compilability, JitFallback};
+    for p in builtin_patterns() {
+        let hints: Vec<_> = p.maps.iter().map(|(_, h)| *h).collect();
+        for a in &p.actions {
+            let mut plan = compile(&a.ir, PlanMode::Optimized).expect("shipped action compiles");
+            assert_eq!(
+                static_compilability(&a.ir, &plan, &hints),
+                Ok(()),
+                "{}/{} must compile with its proof intact",
+                p.name,
+                a.ir.name
+            );
+            plan.facts = None;
+            assert_eq!(
+                static_compilability(&a.ir, &plan, &hints),
+                Err(JitFallback::NoFacts),
+                "{}/{} without a proof must stay interpreted",
+                p.name,
+                a.ir.name
+            );
+        }
+    }
+}
+
+/// Same gate, mutated plan: a corrupted plan loses its proof under
+/// re-analysis (see `corrupted_plans_earn_no_facts`), and the factless
+/// result is rejected by the JIT gate — corruption can never be
+/// *compiled into* native handlers.
+#[test]
+fn corrupted_plans_are_rejected_by_the_jit_gate() {
+    use dgp_core::engine::{static_compilability, JitFallback};
+    let ir = shipped("sssp", "relax");
+    let mut plan = compile(&ir, PlanMode::Optimized).expect("relax compiles");
+    for step in &mut plan.steps {
+        if let ExecStep::Gather { slots, .. } = step {
+            slots.clear();
+        }
+    }
+    let analysis = dgp_core::plan::soundness::analyze(&ir, &plan);
+    assert!(analysis.facts.is_none());
+    plan.facts = analysis.facts;
+    let hints = [
+        dgp_core::engine::MapHint::Vertex(dgp_core::engine::CodecKind::F64),
+        dgp_core::engine::MapHint::Edge(dgp_core::engine::CodecKind::F64),
+    ];
+    assert_eq!(
+        static_compilability(&ir, &plan, &hints),
+        Err(JitFallback::NoFacts)
+    );
+}
+
 /// `Insert` modifications stay exempt from write-race pairing: CC's
 /// conflict recording inserts into `adjs` at two aliasing pointer
 /// localities without an R003.

@@ -310,61 +310,90 @@ pub fn collect(small: bool) -> BenchReport {
         message_rate.push(rate("ping_pong", 2, cap, m, ms));
     }
 
+    BenchReport {
+        headline_msgs_per_sec,
+        message_rate,
+        algorithms: collect_algorithms(small),
+    }
+}
+
+/// Measure the end-to-end algorithm rows alone (the SSSP/CC execution-tier
+/// ladder plus PageRank). `--bench-smoke` re-runs exactly this set and
+/// floor-checks each row's wall time against the committed document, so
+/// the row labels here are the comparison keys.
+pub fn collect_algorithms(small: bool) -> Vec<AlgoPoint> {
     let scale = if small { 10 } else { 13 };
     let el = workloads::rmat_weighted(scale, 8, 41);
     let oracle = seq::dijkstra(&el, 0);
     let mut algorithms = Vec::new();
-    let m = measure::sssp_pattern(
-        "sssp_delta",
-        &el,
-        MachineConfig::new(4),
-        Default::default(),
-        0,
-        SsspStrategy::Delta(0.4),
-        &oracle,
-    );
-    assert!(m.correct, "bench SSSP diverged from the oracle");
-    algorithms.push(algo_point_sssp(&m));
-    // The same run on the guarded interpreter (per-message locality and
-    // def-use checks kept despite the plan's proof): the default row
-    // above IS the proof-carrying fast path, so this pair is the
-    // guarded-vs-elided comparison INTERNALS §13 cites.
+    // The SSSP/CC ladder climbs the engine's three execution tiers on the
+    // same workload, with the hand-written AM implementation as the
+    // floor the declarative stack is measured against (ISSUE 10 / E18):
+    //   *_guarded  — interpreter with per-message locality/def-use guards,
+    //   *_elided   — interpreter, proof-carrying guard elision (§13),
+    //   default    — plan JIT, monomorphized native handlers (§14),
+    //   *_handwritten — no engine at all.
     let guarded_cfg = EngineConfig {
+        compile_plans: false,
         elide_verified_checks: false,
         ..Default::default()
     };
-    let mg = measure::sssp_pattern(
-        "sssp_delta_guarded",
+    let elided_cfg = EngineConfig {
+        compile_plans: false,
+        ..Default::default()
+    };
+    for (label, cfg) in [
+        ("sssp_delta_guarded", guarded_cfg),
+        ("sssp_delta_elided", elided_cfg),
+        ("sssp_delta", EngineConfig::default()),
+    ] {
+        let m = measure::sssp_pattern(
+            label,
+            &el,
+            MachineConfig::new(4),
+            cfg,
+            0,
+            SsspStrategy::Delta(0.4),
+            &oracle,
+        );
+        assert!(m.correct, "bench SSSP ({label}) diverged from the oracle");
+        algorithms.push(algo_point_sssp(&m));
+    }
+    let mh = measure::sssp_handwritten(
+        "sssp_handwritten",
         &el,
         MachineConfig::new(4),
-        guarded_cfg,
         0,
-        SsspStrategy::Delta(0.4),
+        None,
         &oracle,
     );
-    assert!(mg.correct, "guarded bench SSSP diverged from the oracle");
-    algorithms.push(algo_point_sssp(&mg));
-    let cc_el = workloads::blobs(8, if small { 200 } else { 1_500 }, 3);
-    let c = measure::cc_pattern("cc_parallel_search", &cc_el, MachineConfig::new(4));
-    assert!(c.correct, "bench CC diverged from union-find");
-    algorithms.push(AlgoPoint {
-        name: c.label.clone(),
-        millis: c.millis,
-        messages: c.messages,
-        epochs: 0,
-        mean_epoch_us: 0.0,
-    });
-    let cg = measure::cc_pattern_cfg(
-        "cc_parallel_search_guarded",
-        &cc_el,
-        MachineConfig::new(4),
-        guarded_cfg,
+    assert!(
+        mh.correct,
+        "handwritten bench SSSP diverged from the oracle"
     );
-    assert!(cg.correct, "guarded bench CC diverged from union-find");
+    algorithms.push(algo_point_sssp(&mh));
+    let cc_el = workloads::blobs(8, if small { 200 } else { 1_500 }, 3);
+    for (label, cfg) in [
+        ("cc_parallel_search_guarded", guarded_cfg),
+        ("cc_parallel_search_elided", elided_cfg),
+        ("cc_parallel_search", EngineConfig::default()),
+    ] {
+        let c = measure::cc_pattern_cfg(label, &cc_el, MachineConfig::new(4), cfg);
+        assert!(c.correct, "bench CC ({label}) diverged from union-find");
+        algorithms.push(AlgoPoint {
+            name: c.label.clone(),
+            millis: c.millis,
+            messages: c.messages,
+            epochs: 0,
+            mean_epoch_us: 0.0,
+        });
+    }
+    let ch = measure::cc_label_prop("cc_handwritten", &cc_el, MachineConfig::new(4));
+    assert!(ch.correct, "handwritten bench CC diverged from union-find");
     algorithms.push(AlgoPoint {
-        name: cg.label.clone(),
-        millis: cg.millis,
-        messages: cg.messages,
+        name: ch.label.clone(),
+        millis: ch.millis,
+        messages: ch.messages,
         epochs: 0,
         mean_epoch_us: 0.0,
     });
@@ -386,12 +415,7 @@ pub fn collect(small: bool) -> BenchReport {
         epochs: profiles.len() as u64,
         mean_epoch_us: mean_epoch_us(&profiles),
     });
-
-    BenchReport {
-        headline_msgs_per_sec,
-        message_rate,
-        algorithms,
-    }
+    algorithms
 }
 
 fn algo_point_sssp(m: &measure::SsspMeasurement) -> AlgoPoint {
@@ -475,6 +499,42 @@ pub fn parse_headline(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Pull the `(name, millis)` pairs out of a committed `BENCH_*.json`'s
+/// `"algorithms"` array without a JSON dependency — the wall-time floors
+/// the smoke check compares against. Rows it cannot parse are skipped.
+pub fn parse_algorithm_millis(json: &str) -> Vec<(String, f64)> {
+    let Some(at) = json.find("\"algorithms\"") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in json[at..].lines() {
+        let Some(name) = field_str(line, "\"name\"") else {
+            continue;
+        };
+        let Some(millis) = field_num(line, "\"millis\"") else {
+            continue;
+        };
+        out.push((name, millis));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let at = line.find(key)? + key.len();
+    let rest = line[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +561,10 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(parse_headline(&json), Some(1234567.0));
+        assert_eq!(
+            parse_algorithm_millis(&json),
+            vec![("sssp".to_string(), 1.0)]
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -19,11 +19,11 @@
 //! `--bench-json PATH` skips the experiments and instead measures the raw
 //! message-rate + algorithm benchmark suite, writing a machine-readable
 //! `BENCH_*.json` to PATH (combine with `--small` for CI-sized runs).
-//! `--bench-smoke PATH` re-measures only the headline throughput and
-//! exits nonzero when it regressed more than 30% against the number
-//! recorded in PATH (CI runs this against the committed `BENCH_5.json`;
-//! the smoke always measures the default in-process transport, so its
-//! floor is not affected by `--transport`).
+//! `--bench-smoke PATH` re-measures the headline throughput plus the
+//! algorithm rows and exits nonzero when either regressed more than 30%
+//! against the numbers recorded in PATH (CI runs this against the
+//! committed `BENCH_10.json`; the smoke always measures the default
+//! in-process transport, so its floor is not affected by `--transport`).
 //! `--bench-transports PATH` skips the experiments and instead measures
 //! the all-to-all storm over every transport backend (inproc, shm, tcp,
 //! and tcp with forced connection kills), writing the per-backend
@@ -89,6 +89,7 @@ fn lint() -> ! {
     // carries and how many per-message runtime guards that proof lets the
     // engine elide (INTERNALS §13). A plan that fails to compile (or
     // compiles without a proof) is an error-severity finding.
+    use dgp_core::engine::static_compilability;
     use dgp_core::plan::{compile, PlanMode};
     let mut pt = Table::new(&[
         "pattern",
@@ -97,8 +98,10 @@ fn lint() -> ! {
         "diags",
         "facts proved",
         "checks elided",
+        "compiled",
     ]);
     for p in dgp_algorithms::builtin_patterns() {
+        let hints: Vec<_> = p.maps.iter().map(|(_, h)| *h).collect();
         for a in &p.actions {
             for mode in [PlanMode::Faithful, PlanMode::Optimized] {
                 let mode_name = match mode {
@@ -108,6 +111,17 @@ fn lint() -> ! {
                 match compile(&a.ir, mode) {
                     Ok(plan) => match &plan.facts {
                         Some(facts) => {
+                            // The plan JIT (INTERNALS §14) must accept
+                            // every clean proof-carrying plan; a fallback
+                            // here means a shipped pattern silently lost
+                            // its native handlers — error severity.
+                            let compiled = match static_compilability(&a.ir, &plan, &hints) {
+                                Ok(()) => "yes".to_string(),
+                                Err(fb) => {
+                                    errors += 1;
+                                    format!("NO: {fb}")
+                                }
+                            };
                             pt.row(vec![
                                 p.name.to_string(),
                                 a.ir.name.clone(),
@@ -115,6 +129,7 @@ fn lint() -> ! {
                                 "0".to_string(),
                                 facts.summary(),
                                 facts.runtime_checks_elided().to_string(),
+                                compiled,
                             ]);
                         }
                         None => {
@@ -126,6 +141,7 @@ fn lint() -> ! {
                                 "0".to_string(),
                                 "NO PROOF".to_string(),
                                 "0".to_string(),
+                                "no (no proof)".to_string(),
                             ]);
                         }
                     },
@@ -144,6 +160,7 @@ fn lint() -> ! {
                                     .unwrap_or("?")
                             ),
                             "0".to_string(),
+                            "-".to_string(),
                         ]);
                     }
                 }
@@ -220,23 +237,26 @@ fn bench_transports(path: &str, small: bool) -> ! {
 }
 
 /// `--bench-smoke PATH`: compare a fresh headline measurement against the
-/// recorded one; fail on >30% regression.
+/// recorded one, then re-measure the algorithm rows and floor-check each
+/// wall time; fail on >30% regression of either.
 fn bench_smoke(path: &str) -> ! {
     use dgp_bench::bench_json;
 
-    let recorded = match std::fs::read_to_string(path) {
-        Ok(s) => match bench_json::parse_headline(&s) {
-            Some(v) if v > 0.0 => v,
-            _ => {
-                eprintln!("--bench-smoke {path}: no headline_msgs_per_sec field");
-                std::process::exit(2);
-            }
-        },
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("--bench-smoke {path}: {e}");
             std::process::exit(2);
         }
     };
+    let recorded = match bench_json::parse_headline(&text) {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("--bench-smoke {path}: no headline_msgs_per_sec field");
+            std::process::exit(2);
+        }
+    };
+    let mut failed = false;
     let fresh = bench_json::headline();
     let floor = recorded * (1.0 - bench_json::SMOKE_TOLERANCE);
     println!(
@@ -250,9 +270,48 @@ fn bench_smoke(path: &str) -> ! {
             "message-rate smoke FAILED: throughput regressed more than {:.0}%",
             bench_json::SMOKE_TOLERANCE * 100.0
         );
+        failed = true;
+    }
+
+    // Algorithm wall-time floors: the same 30% throughput-regression
+    // tolerance, expressed in wall time (a row fails when it runs slower
+    // than recorded/(1-tolerance)). The labels in the committed document
+    // are the comparison keys; rows without a recorded counterpart (or
+    // vice versa) are reported but not gated, so the check survives row
+    // additions across PRs.
+    let recorded_rows = bench_json::parse_algorithm_millis(&text);
+    if recorded_rows.is_empty() {
+        println!("(no algorithm rows recorded in {path}; skipping wall-time floors)");
+    } else {
+        let fresh_rows = bench_json::collect_algorithms(false);
+        for (name, rec_ms) in &recorded_rows {
+            let Some(row) = fresh_rows.iter().find(|a| &a.name == name) else {
+                println!("  {name:<28} recorded {rec_ms:>9.2} ms — no fresh row, skipped");
+                continue;
+            };
+            let ceiling = rec_ms / (1.0 - bench_json::SMOKE_TOLERANCE);
+            let ok = row.millis <= ceiling;
+            println!(
+                "  {:<28} recorded {:>9.2} ms, measured {:>9.2} ms (ceiling {:>9.2} ms) {}",
+                name,
+                rec_ms,
+                row.millis,
+                ceiling,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            if !ok {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench smoke FAILED: regression beyond {:.0}%",
+            bench_json::SMOKE_TOLERANCE * 100.0
+        );
         std::process::exit(1);
     }
-    println!("message-rate smoke ok");
+    println!("bench smoke ok");
     std::process::exit(0);
 }
 

@@ -9,6 +9,7 @@ use dgp_am::machine::HandlerCtx;
 use dgp_am::{AmCtx, MessageType, SpanKind};
 use dgp_graph::{DistGraph, LockMap, VertexId};
 
+use crate::engine::compiled::{self, Ctl, JitFallback, JitGen, JitProgram};
 use crate::engine::maps::ErasedMap;
 use crate::engine::value::{EnvArr, EnvView, Val, MAX_SLOTS};
 use crate::engine::{EngineConfig, EngineStats, EngineStatsSnapshot, SyncMode};
@@ -24,16 +25,16 @@ const START_PC: u32 = u32::MAX;
 /// instance, addressed to the locality it must run at.
 #[derive(Debug, Clone, Copy)]
 pub struct ActionMsg {
-    action: ActionId,
+    pub(crate) action: ActionId,
     /// Program counter into the action's plan; `START_PC` = expand the
     /// generator at `v`.
-    pc: u32,
+    pub(crate) pc: u32,
     /// The action's input vertex.
-    v: VertexId,
+    pub(crate) v: VertexId,
     /// The locality (vertex) this message is executing at.
-    at: VertexId,
-    gen: GenItem,
-    env: EnvArr,
+    pub(crate) at: VertexId,
+    pub(crate) gen: GenItem,
+    pub(crate) env: EnvArr,
 }
 
 /// How a modification applies its computed value. The same distinction is
@@ -59,7 +60,7 @@ pub type WorkHook = Arc<dyn Fn(&AmCtx, VertexId) + Send + Sync>;
 
 /// Resolves a [`Place`] to a concrete vertex at runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Resolver {
+pub(crate) enum Resolver {
     Input,
     GenVertex,
     GenSrc,
@@ -68,7 +69,7 @@ enum Resolver {
     FromSlot(usize),
 }
 
-enum SlotReader {
+pub(crate) enum SlotReader {
     Vertex { map: usize, resolver: Resolver },
     Edge { map: usize },
 }
@@ -80,16 +81,16 @@ pub(crate) struct CompiledAction {
     /// invocations plus remote `Goto` hops) — the per-action share of the
     /// machine's message counts.
     msgs_sent: AtomicU64,
-    tests: Vec<crate::builder::TestFn>,
-    mods: Vec<Vec<ModExec>>,
-    dep: Vec<Vec<bool>>,
+    pub(crate) tests: Vec<crate::builder::TestFn>,
+    pub(crate) mods: Vec<Vec<ModExec>>,
+    pub(crate) dep: Vec<Vec<bool>>,
     /// Aligned with `plan.places`.
-    resolvers: Vec<Resolver>,
+    pub(crate) resolvers: Vec<Resolver>,
     /// Aligned with `ir.slots`.
-    readers: Vec<SlotReader>,
+    pub(crate) readers: Vec<SlotReader>,
     /// Aligned with `plan.places` for modification targets: resolver of
     /// each condition/mod target place computed on demand via plan places.
-    mod_target_resolvers: Vec<Vec<Resolver>>,
+    pub(crate) mod_target_resolvers: Vec<Vec<Resolver>>,
     /// Proof-carrying fast path (INTERNALS §13): the plan carries
     /// [`crate::plan::VerifiedFacts`] and the config accepts it, so slot
     /// reads and modification targets use `msg.at` directly instead of
@@ -100,18 +101,24 @@ pub(crate) struct CompiledAction {
     /// between that `Goto` and the access can overwrite the resolution
     /// slot (its locality is structurally distinct from the `MapAt` place
     /// it resolves, so `L001` keeps re-gathers away from it).
-    elide_guards: bool,
+    pub(crate) elide_guards: bool,
+    /// The plan compiled to native closures (INTERNALS §14) — present
+    /// only when the gate and the compiler both accepted it; the engine
+    /// then never enters the interpreter for this action.
+    jit: Option<JitProgram>,
+    /// Why the action is interpreted instead; `None` iff `jit` is set.
+    jit_fallback: Option<JitFallback>,
 }
 
-struct EngineInner {
-    graph: DistGraph,
-    rank: usize,
-    cfg: EngineConfig,
-    maps: RwLock<Vec<Arc<dyn ErasedMap>>>,
-    actions: RwLock<Vec<Arc<CompiledAction>>>,
-    hooks: RwLock<Vec<Option<WorkHook>>>,
-    lock_map: LockMap,
-    stats: EngineStats,
+pub(crate) struct EngineInner {
+    pub(crate) graph: DistGraph,
+    pub(crate) rank: usize,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) maps: RwLock<Vec<Arc<dyn ErasedMap>>>,
+    pub(crate) actions: RwLock<Vec<Arc<CompiledAction>>>,
+    pub(crate) hooks: RwLock<Vec<Option<WorkHook>>>,
+    pub(crate) lock_map: LockMap,
+    pub(crate) stats: EngineStats,
     /// Owner-only accesses observed away from their locality — only
     /// counted when [`EngineConfig::validate_locality`] is set (the
     /// dynamic cross-validator of the static verifier).
@@ -257,7 +264,7 @@ impl PatternEngine {
         let elide_guards = plan.facts.is_some()
             && self.inner.cfg.elide_verified_checks
             && !self.inner.cfg.validate_locality;
-        let compiled = Arc::new(CompiledAction {
+        let mut compiled = CompiledAction {
             ir,
             plan,
             msgs_sent: AtomicU64::new(0),
@@ -268,7 +275,20 @@ impl PatternEngine {
             readers,
             mod_target_resolvers,
             elide_guards,
-        });
+            jit: None,
+            jit_fallback: None,
+        };
+        // Attempt the plan→closure compiler (INTERNALS §14). Its gate
+        // re-derives `elide_guards` plus the `compile_plans` knob, so a
+        // compiled action is always also a guard-elided one; a fallback
+        // is recorded, not an error — the interpreter remains the
+        // semantics oracle.
+        let maps = self.inner.maps.read().clone();
+        match compiled::compile(&compiled, &maps, &self.inner.cfg) {
+            Ok(prog) => compiled.jit = Some(prog),
+            Err(fb) => compiled.jit_fallback = Some(fb),
+        }
+        let compiled = Arc::new(compiled);
         let mut actions = self.inner.actions.write();
         actions.push(compiled);
         self.inner.hooks.write().push(None);
@@ -286,6 +306,18 @@ impl PatternEngine {
     /// it (INTERNALS §13).
     pub fn elides_guards(&self, action: ActionId) -> bool {
         self.inner.actions.read()[action as usize].elide_guards
+    }
+
+    /// Whether this action runs as compiled native closures instead of
+    /// the step interpreter (INTERNALS §14).
+    pub fn compiles(&self, action: ActionId) -> bool {
+        self.inner.actions.read()[action as usize].jit.is_some()
+    }
+
+    /// Why this action is interpreted — `None` when it compiles
+    /// ([`Self::compiles`]); otherwise the recorded [`JitFallback`].
+    pub fn compile_fallback(&self, action: ActionId) -> Option<JitFallback> {
+        self.inner.actions.read()[action as usize].jit_fallback
     }
 
     /// Install the action's work hook (the paper's `a.work(Vertex v) =
@@ -449,7 +481,44 @@ impl EngineInner {
         if msg.pc == START_PC {
             self.exec_start(ctx, msg);
         } else {
-            self.run_steps(ctx, msg);
+            let action = self.actions.read()[msg.action as usize].clone();
+            self.run(ctx, &action, msg);
+        }
+    }
+
+    /// Run one instance from `msg.pc`: compiled closures when the action
+    /// has them, the interpreter otherwise.
+    fn run(&self, ctx: &AmCtx, action: &CompiledAction, msg: ActionMsg) {
+        if let Some(jit) = &action.jit {
+            self.run_jit(ctx, action, jit, msg);
+        } else {
+            self.run_steps(ctx, action, msg);
+        }
+    }
+
+    /// Drive a compiled action: each step closure returns what to do
+    /// next; hops reuse the interpreter's send-or-inline rule (and its
+    /// coalescing buffers — the same single message type).
+    fn run_jit(&self, ctx: &AmCtx, action: &CompiledAction, jit: &JitProgram, mut msg: ActionMsg) {
+        loop {
+            match (jit.steps[msg.pc as usize])(self, ctx, &mut msg) {
+                Ctl::Next(pc) => msg.pc = pc,
+                Ctl::Hop { target, pc } => {
+                    msg.pc = pc;
+                    if target != msg.at {
+                        msg.at = target;
+                        let dest = self.graph.owner(target);
+                        if dest != self.rank || self.cfg.self_send {
+                            action.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                            let mt = *self.msg.get().expect("engine constructed");
+                            mt.send(ctx, dest, msg);
+                            return;
+                        }
+                        // Shared-memory shortcut: same rank, run inline.
+                    }
+                }
+                Ctl::Done => return,
+            }
         }
     }
 
@@ -474,8 +543,9 @@ impl EngineInner {
                 env: EnvArr::default(),
                 ..msg
             };
-            self.run_steps(ctx, m);
+            self.run(ctx, &action, m);
         };
+        let jit_gen = action.jit.as_ref().map(|j| &j.gen);
         match action.ir.generator {
             GeneratorIr::None => launch(GenItem::None),
             GeneratorIr::OutEdges => {
@@ -495,25 +565,51 @@ impl EngineInner {
             } => {
                 // The storage-split optimization of §II-A: the filter runs
                 // where the edges (and their weights) live, before any
-                // message is created.
-                let threshold = f64::from_bits(threshold_bits);
-                let maps = self.maps.read();
-                for (eidx, trg) in shard.out_edges(li) {
-                    let w = maps[weight as usize]
-                        .read_edge(self.rank, eidx, false)
-                        .as_f64();
-                    let keep = if keep_light {
-                        w <= threshold
-                    } else {
-                        w > threshold
-                    };
-                    if keep {
-                        launch(GenItem::Edge {
-                            src: msg.v,
-                            trg,
-                            eidx: eidx as u32,
-                            incoming: false,
-                        });
+                // message is created. The compiled generator reads the
+                // weights through the typed map with its threshold
+                // pre-decoded; semantics are identical.
+                if let Some(JitGen::OutEdgesFiltered {
+                    weights,
+                    threshold,
+                    keep_light,
+                }) = jit_gen
+                {
+                    for (eidx, trg) in shard.out_edges(li) {
+                        let w = weights.get_out(self.rank, eidx);
+                        let keep = if *keep_light {
+                            w <= *threshold
+                        } else {
+                            w > *threshold
+                        };
+                        if keep {
+                            launch(GenItem::Edge {
+                                src: msg.v,
+                                trg,
+                                eidx: eidx as u32,
+                                incoming: false,
+                            });
+                        }
+                    }
+                } else {
+                    let threshold = f64::from_bits(threshold_bits);
+                    let maps = self.maps.read();
+                    for (eidx, trg) in shard.out_edges(li) {
+                        let w = maps[weight as usize]
+                            .read_edge(self.rank, eidx, false)
+                            .as_f64();
+                        let keep = if keep_light {
+                            w <= threshold
+                        } else {
+                            w > threshold
+                        };
+                        if keep {
+                            launch(GenItem::Edge {
+                                src: msg.v,
+                                trg,
+                                eidx: eidx as u32,
+                                incoming: false,
+                            });
+                        }
                     }
                 }
             }
@@ -533,7 +629,11 @@ impl EngineInner {
                 }
             }
             GeneratorIr::MapSet(m) => {
-                let set = self.maps.read()[m as usize].read_vertex_set(self.rank, msg.v);
+                let set = if let Some(JitGen::MapSet(tm)) = jit_gen {
+                    tm.get(self.rank, msg.v)
+                } else {
+                    self.maps.read()[m as usize].read_vertex_set(self.rank, msg.v)
+                };
                 for u in set {
                     launch(GenItem::Vertex(u));
                 }
@@ -545,8 +645,7 @@ impl EngineInner {
     }
 
     /// Interpret steps until the instance ends or moves to another vertex.
-    fn run_steps(&self, ctx: &AmCtx, mut msg: ActionMsg) {
-        let action = self.actions.read()[msg.action as usize].clone();
+    fn run_steps(&self, ctx: &AmCtx, action: &CompiledAction, mut msg: ActionMsg) {
         loop {
             match &action.plan.steps[msg.pc as usize] {
                 ExecStep::Goto { to, next } => {
@@ -569,7 +668,7 @@ impl EngineInner {
                         .span(SpanKind::Gather, "engine.gather")
                         .map(|s| s.args(msg.action as u64, slots.len() as u64));
                     for &s in slots {
-                        let val = self.read_slot(&action, &msg, s);
+                        let val = self.read_slot(action, &msg, s);
                         msg.env.set(s, val);
                     }
                     msg.pc = *next as u32;
@@ -584,7 +683,7 @@ impl EngineInner {
                         .span(SpanKind::Eval, "engine.eval")
                         .map(|s| s.args(msg.action as u64, *cond as u64));
                     for &s in local_slots {
-                        let val = self.read_slot(&action, &msg, s);
+                        let val = self.read_slot(action, &msg, s);
                         msg.env.set(s, val);
                     }
                     let t = {
@@ -612,7 +711,7 @@ impl EngineInner {
                     let _s = ctx
                         .span(SpanKind::Eval, "engine.eval_modify")
                         .map(|s| s.args(msg.action as u64, *cond as u64));
-                    let fired = self.eval_modify(ctx, &action, &mut msg, *cond, local_slots, mods);
+                    let fired = self.eval_modify(ctx, action, &mut msg, *cond, local_slots, mods);
                     msg.pc = (if fired { *on_true } else { *on_false }) as u32;
                 }
                 ExecStep::ModifyGroup {
@@ -624,7 +723,7 @@ impl EngineInner {
                     let _s = ctx
                         .span(SpanKind::Eval, "engine.modify")
                         .map(|s| s.args(msg.action as u64, *cond as u64));
-                    self.apply_group(ctx, &action, &mut msg, *cond, local_slots, mods, None);
+                    self.apply_group(ctx, action, &mut msg, *cond, local_slots, mods, None);
                     msg.pc = *next as u32;
                 }
                 ExecStep::End => return,
@@ -812,7 +911,7 @@ impl EngineInner {
         }
     }
 
-    fn fire_hook(&self, ctx: &AmCtx, action: ActionId, v: VertexId) {
+    pub(crate) fn fire_hook(&self, ctx: &AmCtx, action: ActionId, v: VertexId) {
         EngineStats::bump(&self.stats.dependencies_fired);
         let hook = self.hooks.read()[action as usize].clone();
         if let Some(h) = hook {

@@ -52,6 +52,14 @@ pub trait ErasedMap: Send + Sync {
     /// Whether this map stores vertex or edge values.
     fn kind(&self) -> PropertyKind;
 
+    /// Downcasting hook for the plan compiler
+    /// ([`crate::engine::static_compilability`] and INTERNALS §14): the
+    /// JIT recovers the concrete typed handle behind the erasure so
+    /// compiled closures read and write through monomorphized map code.
+    /// Return `self`; a handle type the compiler does not recognize
+    /// simply keeps the action on the interpreter.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Read the vertex property at owned vertex `v`.
     fn read_vertex(&self, rank: usize, v: VertexId) -> Val {
         let _ = (rank, v);
@@ -106,6 +114,10 @@ impl<T: ValCodec + AtomicValue> ErasedMap for AtomicMapHandle<T> {
         PropertyKind::Vertex
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn read_vertex(&self, rank: usize, v: VertexId) -> Val {
         self.map.get(rank, v).to_val()
     }
@@ -133,6 +145,10 @@ impl<T: ValCodec + Clone + Send + Sync + 'static> ErasedMap for EdgeMapHandle<T>
         PropertyKind::Edge
     }
 
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn read_edge(&self, rank: usize, eidx: usize, incoming: bool) -> Val {
         if incoming {
             self.map.get_in(rank, eidx).to_val()
@@ -152,6 +168,10 @@ pub struct SetMapHandle {
 impl ErasedMap for SetMapHandle {
     fn kind(&self) -> PropertyKind {
         PropertyKind::Vertex
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn insert_vertex(&self, rank: usize, v: VertexId, u: VertexId) -> bool {

@@ -9,10 +9,12 @@
 //! customize dependency handling through **work hooks**
 //! ([`PatternEngine::set_work_hook`], the paper's `a.work(Vertex v) = ...`).
 
+mod compiled;
 mod exec;
 mod maps;
 mod value;
 
+pub use compiled::{static_compilability, CodecKind, JitFallback, MapAccess, MapHint};
 pub use exec::{ActionId, ActionMsg, ModExec, ModOp, PatternEngine, WorkHook};
 pub use maps::{AtomicMapHandle, EdgeMapHandle, ErasedMap, SetMapHandle, ValCodec};
 pub use value::{EnvArr, EnvView, Val, MAX_SLOTS};
@@ -64,6 +66,19 @@ pub struct EngineConfig {
     /// path, or to belt-and-braces a deployment. Ignored (guards stay)
     /// when `validate_locality` is set or the plan carries no proof.
     pub elide_verified_checks: bool,
+    /// Compile proof-carrying plans to monomorphized native handlers
+    /// (INTERNALS §14): each [`crate::plan::ExecPlan`] whose
+    /// [`crate::plan::ExecPlan::facts`] proof is present and accepted is
+    /// lowered once, at [`PatternEngine::add_action`] time, into a chain
+    /// of typed Rust closures — slot offsets resolved to direct frame
+    /// indices, property-map accessors devirtualized through their
+    /// [`ValCodec`] types, generator constants pre-evaluated. Plans
+    /// without a proof, and step/map combinations the compiler does not
+    /// support, fall back transparently to the interpreter (the semantics
+    /// oracle). On by default; `validate_locality` forces it off (the
+    /// validator needs the guarded interpreter), as does turning off
+    /// `elide_verified_checks` (compiled code has no guards to keep).
+    pub compile_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +90,7 @@ impl Default for EngineConfig {
             self_send: true,
             validate_locality: false,
             elide_verified_checks: true,
+            compile_plans: true,
         }
     }
 }
